@@ -1,0 +1,207 @@
+// Command lacc-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	lacc-bench [flags] <experiment> [<experiment>...]
+//	lacc-bench -quick all
+//
+// Experiments: fig1, fig2, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+// table1, table2, storage, ackwise, all. Figures 8-11 share one PCT sweep,
+// which is run once even when several of them are requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lacc/internal/experiments"
+	"lacc/internal/sim"
+	"lacc/internal/workloads"
+)
+
+var allExperiments = []string{
+	"table1", "table2", "storage", "storage-scaling",
+	"fig1", "fig2", "fig8", "fig9", "fig10", "fig11",
+	"fig12", "fig13", "fig14", "ackwise", "scaling", "vr",
+}
+
+func main() {
+	var (
+		cores     = flag.Int("cores", 64, "number of cores (tiles)")
+		meshWidth = flag.Int("mesh-width", 0, "mesh X dimension (0 = auto)")
+		scale     = flag.Float64("scale", 1.0, "problem-size multiplier")
+		seed      = flag.Uint64("seed", 0, "workload randomness seed")
+		benches   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		quick     = flag.Bool("quick", false, "reduced machine (16 cores, scale 0.25) for a fast pass")
+		timing    = flag.Bool("time", true, "report wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Cores:       *cores,
+		MeshWidth:   *meshWidth,
+		Scale:       *scale,
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}
+	if *quick {
+		opts.Cores = 16
+		opts.MeshWidth = 4
+		opts.Scale = 0.25
+	}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			b = strings.TrimSpace(b)
+			if _, ok := workloads.ByName(b); !ok {
+				fatal(fmt.Errorf("unknown benchmark %q", b))
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+
+	requested := flag.Args()
+	if len(requested) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: lacc-bench [flags] <experiment>...\nexperiments: %s, all\n",
+			strings.Join(allExperiments, ", "))
+		os.Exit(2)
+	}
+	var list []string
+	for _, r := range requested {
+		if r == "all" {
+			list = append(list, allExperiments...)
+			continue
+		}
+		list = append(list, r)
+	}
+
+	r := runner{opts: opts, timing: *timing}
+	for _, name := range list {
+		if err := r.run(name); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runner caches the shared PCT sweep and Figure 1/2 run across experiments.
+type runner struct {
+	opts   experiments.Options
+	timing bool
+
+	sweep8  *experiments.PCTSweep // PCT 1..8 (figures 8 and 9)
+	sweep11 *experiments.PCTSweep // extended sweep (figure 11)
+	sweep10 *experiments.PCTSweep // reduced sweep (figure 10)
+	fig12   *experiments.Fig1And2Result
+}
+
+func (r *runner) run(name string) error {
+	start := time.Now()
+	var err error
+	switch name {
+	case "table1":
+		cfg := r.opts.Config
+		if cfg == nil {
+			d := sim.Default()
+			d.Cores = r.opts.Cores
+			cfg = &d
+		}
+		err = experiments.RenderTable1(*cfg, os.Stdout)
+	case "table2":
+		err = experiments.RenderTable2(os.Stdout)
+	case "storage":
+		err = experiments.Storage(sim.Default()).Render(os.Stdout)
+	case "fig1", "fig2":
+		if r.fig12 == nil {
+			if r.fig12, err = experiments.Fig1And2(r.opts); err != nil {
+				return err
+			}
+		}
+		err = r.fig12.Render(os.Stdout)
+	case "fig8":
+		var sw *experiments.PCTSweep
+		if sw, err = r.get8(); err == nil {
+			err = sw.RenderFig8(os.Stdout)
+		}
+	case "fig9":
+		var sw *experiments.PCTSweep
+		if sw, err = r.get8(); err == nil {
+			err = sw.RenderFig9(os.Stdout)
+		}
+	case "fig10":
+		if r.sweep10 == nil {
+			if r.sweep10, err = experiments.RunPCTSweep(r.opts, experiments.Fig10PCTs); err != nil {
+				return err
+			}
+		}
+		err = r.sweep10.RenderFig10(os.Stdout)
+	case "fig11":
+		if r.sweep11 == nil {
+			if r.sweep11, err = experiments.RunPCTSweep(r.opts, experiments.Fig11PCTs); err != nil {
+				return err
+			}
+		}
+		err = r.sweep11.Fig11().Render(os.Stdout)
+	case "fig12":
+		var f *experiments.Fig12Result
+		if f, err = experiments.Fig12(r.opts); err == nil {
+			err = f.Render(os.Stdout)
+		}
+	case "fig13":
+		var f *experiments.Fig13Result
+		if f, err = experiments.Fig13(r.opts); err == nil {
+			err = f.Render(os.Stdout)
+		}
+	case "fig14":
+		var f *experiments.Fig14Result
+		if f, err = experiments.Fig14(r.opts); err == nil {
+			err = f.Render(os.Stdout)
+		}
+	case "ackwise":
+		var a *experiments.AckwiseComparisonResult
+		if a, err = experiments.AckwiseComparison(r.opts, nil); err == nil {
+			err = a.Render(os.Stdout)
+		}
+	case "storage-scaling":
+		err = experiments.StorageScaling(nil).Render(os.Stdout)
+	case "vr":
+		var v *experiments.VictimReplicationResult
+		if v, err = experiments.VictimReplication(r.opts); err == nil {
+			err = v.Render(os.Stdout)
+		}
+	case "scaling":
+		var p *experiments.PerformanceScalingResult
+		if p, err = experiments.PerformanceScaling(r.opts, nil); err == nil {
+			err = p.Render(os.Stdout)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (want one of %s, all)",
+			name, strings.Join(allExperiments, ", "))
+	}
+	if err != nil {
+		return err
+	}
+	if r.timing {
+		fmt.Printf("[%s in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func (r *runner) get8() (*experiments.PCTSweep, error) {
+	if r.sweep8 == nil {
+		var err error
+		if r.sweep8, err = experiments.RunPCTSweep(r.opts, experiments.Fig8PCTs); err != nil {
+			return nil, err
+		}
+	}
+	return r.sweep8, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lacc-bench:", err)
+	os.Exit(1)
+}

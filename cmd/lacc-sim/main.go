@@ -1,0 +1,170 @@
+// Command lacc-sim runs one benchmark under one machine configuration and
+// prints the paper's evaluation metrics: completion time and its breakdown,
+// the dynamic energy breakdown, L1-D miss classification and protocol
+// activity.
+//
+// Usage:
+//
+//	lacc-sim -workload streamcluster -pct 4
+//	lacc-sim -workload matmul -pct 1 -classifier-k 0 -json
+//	lacc-sim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lacc"
+	"lacc/internal/report"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available workloads and exit")
+		workload   = flag.String("workload", "streamcluster", "benchmark to run (see -list)")
+		cores      = flag.Int("cores", 64, "number of cores (tiles)")
+		meshWidth  = flag.Int("mesh-width", 8, "mesh X dimension (must divide cores)")
+		scale      = flag.Float64("scale", 1.0, "problem-size multiplier")
+		seed       = flag.Uint64("seed", 0, "workload randomness seed")
+		pct        = flag.Int("pct", 4, "private caching threshold (1 = baseline directory protocol)")
+		ratMax     = flag.Int("ratmax", 16, "maximum remote access threshold")
+		ratLevels  = flag.Int("ratlevels", 2, "number of RAT levels")
+		timestamp  = flag.Bool("timestamp", false, "use the exact Timestamp classification instead of RAT")
+		oneWay     = flag.Bool("oneway", false, "use the simpler Adapt1-way protocol (no promotions)")
+		classifier = flag.Int("classifier-k", 3, "Limited-k classifier size (0 = Complete classifier)")
+		ackwise    = flag.Int("ackwise", 4, "ACKwise hardware pointers (>= cores = full-map)")
+		jsonOut    = flag.Bool("json", false, "print the raw result as JSON")
+		perCore    = flag.Bool("percore", false, "print per-core statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		t := report.NewTable("available workloads", "name", "suite", "paper size", "default size")
+		for _, w := range lacc.Workloads() {
+			t.AddRow(w.Name, w.Suite, w.PaperSize, w.DefaultSize)
+		}
+		if err := t.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := lacc.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.MeshWidth = *meshWidth
+	if cfg.MemControllers > cfg.Cores {
+		cfg.MemControllers = cfg.Cores
+	}
+	cfg.Protocol.PCT = *pct
+	cfg.Protocol.RATMax = *ratMax
+	cfg.Protocol.NRATLevels = *ratLevels
+	cfg.Protocol.UseTimestamp = *timestamp
+	cfg.Protocol.OneWay = *oneWay
+	cfg.ClassifierK = *classifier
+	cfg.AckwisePointers = *ackwise
+
+	res, err := lacc.RunWorkload(cfg, *workload, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("workload %s on %d cores (pct=%d, classifier-k=%d, ackwise=%d)\n\n",
+		*workload, *cores, *pct, *classifier, *ackwise)
+	fmt.Printf("completion: %d cycles\n", res.CompletionCycles)
+
+	tt := res.Time.Total()
+	bt := report.NewTable("completion time breakdown (all cores)", "component", "cycles", "share")
+	for _, row := range []struct {
+		name string
+		v    float64
+	}{
+		{"compute", res.Time.Compute},
+		{"L1 to L2", res.Time.L1ToL2},
+		{"L2 waiting", res.Time.L2Waiting},
+		{"L2 to sharers", res.Time.L2Sharers},
+		{"off-chip", res.Time.OffChip},
+		{"synchronization", res.Time.Sync},
+	} {
+		bt.AddRowValues(row.name, row.v, share(row.v, tt))
+	}
+	bt.AddRowValues("total", tt, "1.000")
+	mustWrite(bt)
+
+	et := res.Energy.Total()
+	be := report.NewTable("dynamic energy breakdown", "component", "pJ", "share")
+	for _, row := range []struct {
+		name string
+		v    float64
+	}{
+		{"L1-I cache", res.Energy.L1I},
+		{"L1-D cache", res.Energy.L1D},
+		{"L2 cache", res.Energy.L2},
+		{"directory", res.Energy.Directory},
+		{"network router", res.Energy.Router},
+		{"network link", res.Energy.Link},
+	} {
+		be.AddRowValues(row.name, row.v, share(row.v, et))
+	}
+	be.AddRowValues("total", et, "1.000")
+	mustWrite(be)
+
+	bm := report.NewTable(fmt.Sprintf("L1-D misses (rate %.2f%%)", res.L1DMissRate()),
+		"type", "count")
+	for k, label := range []string{"cold", "capacity", "upgrade", "sharing", "word"} {
+		bm.AddRowValues(label, res.L1D.Misses[k])
+	}
+	mustWrite(bm)
+
+	bp := report.NewTable("protocol activity", "event", "count")
+	bp.AddRowValues("remote->private promotions", res.Promotions)
+	bp.AddRowValues("private->remote demotions", res.Demotions)
+	bp.AddRowValues("remote word reads", res.WordReads)
+	bp.AddRowValues("remote word writes", res.WordWrites)
+	bp.AddRowValues("invalidations", res.Invalidations)
+	bp.AddRowValues("broadcast invalidations", res.BroadcastInvalidations)
+	bp.AddRowValues("R-NUCA page reclassifications", res.Reclassifications)
+	bp.AddRowValues("DRAM reads / writes", fmt.Sprintf("%d / %d", res.DRAMReads, res.DRAMWrites))
+	mustWrite(bp)
+
+	if *perCore {
+		bc := report.NewTable(
+			fmt.Sprintf("per-core statistics (load imbalance %.3f)", res.Imbalance()),
+			"core", "finish", "compute", "miss-rate", "L1I-misses")
+		for i := range res.PerCore {
+			c := &res.PerCore[i]
+			bc.AddRowValues(i, uint64(c.Finish), c.Time.Compute,
+				fmt.Sprintf("%.2f%%", c.L1D.Rate()), c.L1IMisses)
+		}
+		mustWrite(bc)
+	}
+}
+
+func share(v, total float64) string {
+	if total == 0 {
+		return "0.000"
+	}
+	return fmt.Sprintf("%.3f", v/total)
+}
+
+func mustWrite(t *report.Table) {
+	fmt.Println()
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lacc-sim:", err)
+	os.Exit(1)
+}

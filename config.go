@@ -1,0 +1,68 @@
+package lacc
+
+import (
+	"lacc/internal/core"
+	"lacc/internal/energy"
+	"lacc/internal/mem"
+	"lacc/internal/sim"
+)
+
+// Config describes the simulated machine: core count and mesh geometry,
+// cache hierarchy, ACKwise directory, DRAM, the locality-aware protocol
+// parameters and the energy model. See sim.Config for field documentation.
+type Config = sim.Config
+
+// ProtocolParams are the locality-aware protocol parameters: PCT, the RAT
+// ladder, the exact Timestamp mode and the Adapt1-way variant.
+type ProtocolParams = core.Params
+
+// EnergyParams are the per-event dynamic energy constants of the 11 nm
+// McPAT/DSENT-style model.
+type EnergyParams = energy.Params
+
+// DefaultConfig returns the paper's Table 1 machine: 64 cores on an 8x8
+// mesh, 16/32 KB L1s, 256 KB L2 slices, ACKwise4, 8 memory controllers,
+// PCT 4, RATmax 16, 2 RAT levels and the Limited3 classifier.
+func DefaultConfig() Config { return sim.Default() }
+
+// DefaultProtocol returns the paper's protocol defaults (PCT 4, RATmax 16,
+// nRATlevels 2).
+func DefaultProtocol() ProtocolParams { return core.DefaultParams() }
+
+// DefaultEnergy returns the default 11 nm energy constants.
+func DefaultEnergy() EnergyParams { return energy.DefaultParams() }
+
+// Address space and geometry constants re-exported for trace construction.
+const (
+	// LineBytes is the cache line size (64 B).
+	LineBytes = mem.LineBytes
+	// PageBytes is the OS page size used by R-NUCA classification (4 KB).
+	PageBytes = mem.PageBytes
+	// WordBytes is the remote-access word size (8 B, one flit payload).
+	WordBytes = mem.WordBytes
+	// DataBase is a safe base address for custom workload data: it is page
+	// aligned and far below the simulator's synthetic instruction segment.
+	DataBase Addr = 1 << 22
+)
+
+// Addr is a 48-bit physical byte address.
+type Addr = mem.Addr
+
+// Cycle is a simulated clock value at 1 GHz (1 cycle = 1 ns).
+type Cycle = mem.Cycle
+
+// Access is one trace operation (a read, write, barrier, lock or unlock,
+// preceded by Gap compute cycles).
+type Access = mem.Access
+
+// AccessKind discriminates trace operations.
+type AccessKind = mem.AccessKind
+
+// Trace operation kinds.
+const (
+	Read    = mem.Read
+	Write   = mem.Write
+	Barrier = mem.Barrier
+	Lock    = mem.Lock
+	Unlock  = mem.Unlock
+)

@@ -1,0 +1,80 @@
+package lacc_test
+
+import (
+	"fmt"
+
+	"lacc"
+)
+
+// Example runs one benchmark under the paper's default configuration and
+// reports whether the adaptive protocol engaged.
+func Example() {
+	cfg := lacc.DefaultConfig()
+	cfg.Cores = 16
+	cfg.MeshWidth = 4
+	cfg.MemControllers = 2
+
+	res, err := lacc.RunWorkload(cfg, "streamcluster", 0.1, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", res.DataAccesses > 0)
+	fmt.Println("protocol engaged:", res.WordReads+res.WordWrites > 0)
+	// Output:
+	// completed: true
+	// protocol engaged: true
+}
+
+// ExampleRunGenerators builds a custom workload with the Emitter API: a
+// tiny SPMD kernel with private reads and a barrier.
+func ExampleRunGenerators() {
+	cfg := lacc.DefaultConfig()
+	cfg.Cores = 4
+	cfg.MeshWidth = 2
+	cfg.MemControllers = 2
+
+	gens := make([]lacc.GenFunc, cfg.Cores)
+	for c := range gens {
+		c := c
+		gens[c] = func(e *lacc.Emitter) {
+			base := lacc.DataBase + lacc.Addr(c)*lacc.PageBytes
+			for i := 0; i < 32; i++ {
+				e.Read(base + lacc.Addr(i%4)*lacc.WordBytes)
+				e.Compute(1)
+			}
+			e.Barrier(1)
+		}
+	}
+	res, err := lacc.RunGenerators(cfg, gens)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("accesses:", res.DataAccesses)
+	// Output:
+	// accesses: 128
+}
+
+// ExampleStorageOverhead reproduces the paper's Section 3.6 arithmetic.
+func ExampleStorageOverhead() {
+	r := lacc.StorageOverhead(lacc.DefaultConfig())
+	fmt.Printf("Limited3: %.0f KB/core\n", r.Limited3KB)
+	fmt.Printf("Complete: %.0f KB/core\n", r.CompleteKB)
+	fmt.Println("cheaper than full-map:", r.LimitedBeatsFullMap)
+	// Output:
+	// Limited3: 18 KB/core
+	// Complete: 192 KB/core
+	// cheaper than full-map: true
+}
+
+// ExampleWorkloads lists the first benchmarks of the Table 2 catalog.
+func ExampleWorkloads() {
+	for _, w := range lacc.Workloads()[:3] {
+		fmt.Println(w.Suite, w.Name)
+	}
+	// Output:
+	// SPLASH-2 radix
+	// SPLASH-2 lu-nc
+	// SPLASH-2 barnes
+}

@@ -1,0 +1,49 @@
+// classifier_study reproduces a reduced Figure 13: how closely does the
+// cheap Limited-k locality classifier (k tracked sharers + majority voting)
+// track the Complete classifier that stores state for every core?
+//
+// The paper's answer — Limited3 stays within ~3% while needing 18 KB
+// instead of 192 KB per core — is also printed via the Section 3.6 storage
+// arithmetic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"lacc"
+)
+
+func main() {
+	var (
+		cores   = flag.Int("cores", 16, "number of cores")
+		width   = flag.Int("mesh-width", 4, "mesh X dimension")
+		scale   = flag.Float64("scale", 0.25, "problem-size multiplier")
+		benches = flag.String("benchmarks",
+			"streamcluster,bodytrack,radix,dijkstra-ss",
+			"comma-separated benchmarks")
+	)
+	flag.Parse()
+
+	opts := lacc.ExperimentOptions{
+		Cores:      *cores,
+		MeshWidth:  *width,
+		Scale:      *scale,
+		Benchmarks: strings.Split(*benches, ","),
+	}
+	f, err := lacc.ExperimentFig13(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("storage cost of the classifiers (64-core Table 1 machine):")
+	if err := lacc.StorageOverhead(lacc.DefaultConfig()).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

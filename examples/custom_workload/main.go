@@ -1,0 +1,96 @@
+// custom_workload shows the trace-generation API: a user-defined SPMD
+// kernel written against lacc.Emitter, run under both the baseline and the
+// adaptive protocol.
+//
+// The kernel is a producer/consumer pipeline with two kinds of data:
+//
+//   - a "results" table each core writes once per round and its neighbor
+//     reads once — classic low-utilization sharing that the adaptive
+//     protocol services with cheap word accesses instead of whole-line
+//     installs and invalidations, and
+//   - a private scratch buffer with heavy reuse that must stay privately
+//     cached at any threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lacc"
+)
+
+const (
+	cores   = 16
+	rounds  = 64
+	scratch = 64 // words of hot private data per core
+)
+
+// kernel emits one core's trace.
+func kernel(c int) lacc.GenFunc {
+	return func(e *lacc.Emitter) {
+		// Page-aligned regions: results are shared, scratch is per-core.
+		results := lacc.DataBase
+		mine := lacc.DataBase + lacc.PageBytes + lacc.Addr(c)*lacc.PageBytes
+
+		for round := 0; round < rounds; round++ {
+			// Hot private phase: repeated passes over the scratch buffer.
+			for pass := 0; pass < 4; pass++ {
+				for i := 0; i < scratch; i++ {
+					e.Read(mine + lacc.Addr(i)*lacc.WordBytes)
+					e.Compute(1)
+				}
+			}
+			e.Write(mine)
+
+			// Publish one result word; the table interleaves cores so each
+			// line ping-pongs between eight writers.
+			e.Write(results + lacc.Addr(c)*lacc.WordBytes)
+
+			// Read the left neighbor's latest result.
+			left := (c + cores - 1) % cores
+			e.Read(results + lacc.Addr(left)*lacc.WordBytes)
+
+			e.Barrier(uint64(round))
+		}
+	}
+}
+
+func runAt(pct int) *lacc.Result {
+	cfg := lacc.DefaultConfig()
+	cfg.Cores = cores
+	cfg.MeshWidth = 4
+	cfg.MemControllers = 2
+	cfg.Protocol.PCT = pct
+
+	gens := make([]lacc.GenFunc, cores)
+	for c := range gens {
+		gens[c] = kernel(c)
+	}
+	res, err := lacc.RunGenerators(cfg, gens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	baseline := runAt(1)
+	adaptive := runAt(4)
+
+	fmt.Printf("custom producer/consumer kernel, %d cores, %d rounds\n\n", cores, rounds)
+	fmt.Printf("%-28s %12s %12s\n", "", "PCT 1", "PCT 4")
+	fmt.Printf("%-28s %12d %12d\n", "completion (cycles)",
+		baseline.CompletionCycles, adaptive.CompletionCycles)
+	fmt.Printf("%-28s %12.0f %12.0f\n", "energy (pJ)",
+		baseline.Energy.Total(), adaptive.Energy.Total())
+	fmt.Printf("%-28s %12d %12d\n", "invalidations",
+		baseline.Invalidations, adaptive.Invalidations)
+	fmt.Printf("%-28s %12d %12d\n", "remote word accesses",
+		baseline.WordReads+baseline.WordWrites,
+		adaptive.WordReads+adaptive.WordWrites)
+	fmt.Printf("%-28s %12d %12d\n", "demotions",
+		baseline.Demotions, adaptive.Demotions)
+
+	fmt.Println("\nthe ping-pong result lines are demoted to remote mode and serviced")
+	fmt.Println("as word accesses; the hot scratch buffer stays privately cached.")
+}

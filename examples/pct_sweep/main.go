@@ -1,0 +1,42 @@
+// pct_sweep reproduces a reduced Figure 11: sweep the Private Caching
+// Threshold over a subset of benchmarks and print the geometric means of
+// completion time and energy, normalized to the PCT 1 baseline.
+//
+// Flags select the machine size and benchmark subset; the defaults finish
+// in well under a minute on a laptop.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+
+	"lacc"
+)
+
+func main() {
+	var (
+		cores   = flag.Int("cores", 16, "number of cores")
+		width   = flag.Int("mesh-width", 4, "mesh X dimension")
+		scale   = flag.Float64("scale", 0.25, "problem-size multiplier")
+		benches = flag.String("benchmarks",
+			"streamcluster,blackscholes,matmul,dijkstra-ss,canneal,tsp",
+			"comma-separated benchmarks")
+	)
+	flag.Parse()
+
+	opts := lacc.ExperimentOptions{
+		Cores:      *cores,
+		MeshWidth:  *width,
+		Scale:      *scale,
+		Benchmarks: strings.Split(*benches, ","),
+	}
+	sweep, err := lacc.ExperimentPCTSweep(opts, []int{1, 2, 3, 4, 5, 6, 8, 12, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sweep.Fig11().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

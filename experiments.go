@@ -1,0 +1,76 @@
+package lacc
+
+import (
+	"lacc/internal/experiments"
+)
+
+// ExperimentOptions selects machine size, workload scale and benchmark
+// subset for the paper's evaluation experiments. The zero value reproduces
+// the paper's setup: 64 cores, scale 1.0, all 21 benchmarks.
+type ExperimentOptions = experiments.Options
+
+// PCTSweep holds one simulation per (benchmark, PCT) — the data behind
+// Figures 8, 9, 10 and 11. Render the individual figures with RenderFig8,
+// RenderFig9, RenderFig10 and Fig11().Render.
+type PCTSweep = experiments.PCTSweep
+
+// ExperimentPCTSweep simulates every selected benchmark at every PCT.
+// Passing nil pcts uses the Figure 8 sweep (1..8).
+func ExperimentPCTSweep(o ExperimentOptions, pcts []int) (*PCTSweep, error) {
+	return experiments.RunPCTSweep(o, pcts)
+}
+
+// ExperimentFig1And2 collects the baseline invalidation/eviction
+// utilization histograms of Figures 1 and 2.
+func ExperimentFig1And2(o ExperimentOptions) (*experiments.Fig1And2Result, error) {
+	return experiments.Fig1And2(o)
+}
+
+// ExperimentFig12 runs the remote-access-threshold sensitivity study of
+// Figure 12 (Timestamp vs RAT-level/threshold variants).
+func ExperimentFig12(o ExperimentOptions) (*experiments.Fig12Result, error) {
+	return experiments.Fig12(o)
+}
+
+// ExperimentFig13 runs the Limited-k classifier accuracy study of
+// Figure 13.
+func ExperimentFig13(o ExperimentOptions) (*experiments.Fig13Result, error) {
+	return experiments.Fig13(o)
+}
+
+// ExperimentFig14 compares the Adapt1-way protocol against the full
+// two-way protocol (Figure 14).
+func ExperimentFig14(o ExperimentOptions) (*experiments.Fig14Result, error) {
+	return experiments.Fig14(o)
+}
+
+// ExperimentAckwise compares ACKwise-p pointer counts against the full-map
+// directory (the Section 5 prologue check; nil pointers = {4, cores}).
+func ExperimentAckwise(o ExperimentOptions, pointers []int) (*experiments.AckwiseComparisonResult, error) {
+	return experiments.AckwiseComparison(o, pointers)
+}
+
+// StorageOverhead reproduces the Section 3.6 storage arithmetic for a
+// machine configuration.
+func StorageOverhead(cfg Config) experiments.StorageResult {
+	return experiments.Storage(cfg)
+}
+
+// ExperimentVictimReplication compares the unmanaged baseline, the Victim
+// Replication scheme (Section 2.1) and the locality-aware protocol on the
+// same substrate.
+func ExperimentVictimReplication(o ExperimentOptions) (*experiments.VictimReplicationResult, error) {
+	return experiments.VictimReplication(o)
+}
+
+// ExperimentStorageScaling evaluates classifier storage across core counts
+// (Section 3.6's 1024-core claim).
+func ExperimentStorageScaling(coreCounts []int) *experiments.StorageScalingResult {
+	return experiments.StorageScaling(coreCounts)
+}
+
+// ExperimentPerformanceScaling measures the adaptive protocol's improvement
+// over the baseline as the machine grows.
+func ExperimentPerformanceScaling(o ExperimentOptions, coreCounts []int) (*experiments.PerformanceScalingResult, error) {
+	return experiments.PerformanceScaling(o, coreCounts)
+}

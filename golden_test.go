@@ -1,0 +1,52 @@
+package lacc_test
+
+import (
+	"testing"
+
+	"lacc"
+)
+
+// TestGoldenRegression pins exact simulation outcomes for fixed seeds and
+// configurations. The simulator is fully deterministic, so any drift in
+// these numbers means a protocol, timing or workload change — which is
+// fine when intentional (regenerate the table below by running the listed
+// configuration), and a caught bug when not.
+func TestGoldenRegression(t *testing.T) {
+	golden := []struct {
+		workload   string
+		completion lacc.Cycle
+		accesses   uint64
+		wordAccess uint64
+		linkFlits  uint64
+	}{
+		{"streamcluster", 57920, 12512, 3677, 76548},
+		{"matmul", 929756, 350016, 31894, 956601},
+		{"canneal", 609206, 20540, 1106, 634342},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.workload, func(t *testing.T) {
+			t.Parallel()
+			cfg := lacc.DefaultConfig()
+			cfg.Cores = 16
+			cfg.MeshWidth = 4
+			cfg.MemControllers = 2
+			res, err := lacc.RunWorkload(cfg, g.workload, 0.1, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CompletionCycles != g.completion {
+				t.Errorf("completion = %d, golden %d", res.CompletionCycles, g.completion)
+			}
+			if res.DataAccesses != g.accesses {
+				t.Errorf("accesses = %d, golden %d", res.DataAccesses, g.accesses)
+			}
+			if got := res.WordReads + res.WordWrites; got != g.wordAccess {
+				t.Errorf("word accesses = %d, golden %d", got, g.wordAccess)
+			}
+			if res.LinkFlits != g.linkFlits {
+				t.Errorf("link flits = %d, golden %d", res.LinkFlits, g.linkFlits)
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Package cache implements the set-associative cache arrays used for the
+// private L1 instruction/data caches and the shared L2 slices. Cache lines
+// carry the tag extensions of the paper's Figure 5: a private utilization
+// counter and a last-access timestamp, plus a data version used by the
+// functional correctness checker.
+//
+// The package is purely structural: coherence states are opaque bytes owned
+// by the protocol layer, and the replacement policy is LRU as assumed by the
+// paper's Timestamp check discussion (Section 3.2).
+package cache
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+)
+
+// Line is one cache line's tag-array entry.
+type Line struct {
+	Valid bool
+	Dirty bool
+	// State is the coherence state, owned by the protocol layer; the cache
+	// only distinguishes Valid from free ways.
+	State uint8
+	// Addr is the line-aligned address held by this way.
+	Addr mem.Addr
+	// Util is the private utilization counter of Figure 5: the number of
+	// accesses since the line was brought into this cache.
+	Util uint32
+	// LastAccess is the last-access timestamp of Figure 5, used by the
+	// Timestamp-based classifier.
+	LastAccess mem.Cycle
+	// Version is the data version observed when the copy was made; the
+	// simulator's checker compares it against the golden store.
+	Version uint64
+	// Home caches the tile the line's directory lives on, so evictions know
+	// where to send the notification without re-running placement.
+	Home int16
+
+	lru uint64
+}
+
+// Cache is a set-associative cache with LRU replacement. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []Line // sets*ways, row-major by set
+	tick  uint64
+
+	// Evictions counts lines displaced by Insert.
+	Evictions uint64
+}
+
+// New returns a cache with the given total size in bytes and associativity.
+// Size must be a positive multiple of ways*64B and the resulting set count
+// must be a power of two (all Table 1 configurations satisfy this).
+func New(sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry size=%d ways=%d", sizeBytes, ways))
+	}
+	lines := sizeBytes / mem.LineBytes
+	if lines%ways != 0 {
+		panic(fmt.Sprintf("cache: size %dB not divisible into %d ways", sizeBytes, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetOf returns the set index for an address.
+func (c *Cache) SetOf(a mem.Addr) int {
+	return int(mem.LineIndex(a)) & (c.sets - 1)
+}
+
+// Probe returns the line holding a's cache line, or nil on miss. It does not
+// update replacement state; callers that consume the access should also call
+// Touch.
+func (c *Cache) Probe(a mem.Addr) *Line {
+	la := mem.LineOf(a)
+	set := c.SetOf(a)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.Valid && l.Addr == la {
+			return l
+		}
+	}
+	return nil
+}
+
+// Touch marks l most-recently-used and stamps its last-access time.
+func (c *Cache) Touch(l *Line, now mem.Cycle) {
+	c.tick++
+	l.lru = c.tick
+	l.LastAccess = now
+}
+
+// Insert allocates a way for address a and returns the new line plus a copy
+// of the victim if a valid line was displaced. The new line is returned
+// zeroed except for Valid and Addr; the caller fills in state, utilization
+// and version, and should Touch it. Inserting an address already present
+// panics: the protocol layer must Probe first.
+func (c *Cache) Insert(a mem.Addr) (l *Line, victim Line, evicted bool) {
+	la := mem.LineOf(a)
+	set := c.SetOf(a)
+	base := set * c.ways
+	var victimIdx = -1
+	var victimLRU uint64 = ^uint64(0)
+	for i := 0; i < c.ways; i++ {
+		w := &c.lines[base+i]
+		if !w.Valid {
+			victimIdx = i
+			evicted = false
+			goto place
+		}
+		if w.Addr == la {
+			panic(fmt.Sprintf("cache: Insert of resident line %#x", la))
+		}
+		if w.lru < victimLRU {
+			victimLRU = w.lru
+			victimIdx = i
+		}
+	}
+	victim = c.lines[base+victimIdx]
+	evicted = true
+	c.Evictions++
+place:
+	l = &c.lines[base+victimIdx]
+	*l = Line{Valid: true, Addr: la}
+	return l, victim, evicted
+}
+
+// TryInsert allocates a way for address a like Insert, but will only evict
+// a valid line if canEvict approves it (invalid ways need no approval). It
+// returns nil when no acceptable way exists, leaving the set untouched.
+// Used by victim replication, whose replicas must never displace home
+// lines.
+func (c *Cache) TryInsert(a mem.Addr, canEvict func(*Line) bool) (l *Line, victim Line, evicted bool) {
+	la := mem.LineOf(a)
+	set := c.SetOf(a)
+	base := set * c.ways
+	victimIdx := -1
+	var victimLRU uint64 = ^uint64(0)
+	for i := 0; i < c.ways; i++ {
+		w := &c.lines[base+i]
+		if !w.Valid {
+			l = w
+			*l = Line{Valid: true, Addr: la}
+			return l, Line{}, false
+		}
+		if w.Addr == la {
+			panic(fmt.Sprintf("cache: TryInsert of resident line %#x", la))
+		}
+		if canEvict(w) && w.lru < victimLRU {
+			victimLRU = w.lru
+			victimIdx = i
+		}
+	}
+	if victimIdx < 0 {
+		return nil, Line{}, false
+	}
+	victim = c.lines[base+victimIdx]
+	c.Evictions++
+	l = &c.lines[base+victimIdx]
+	*l = Line{Valid: true, Addr: la}
+	return l, victim, true
+}
+
+// Invalidate removes a's line if present and returns a copy of it.
+func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
+	if l := c.Probe(a); l != nil {
+		old := *l
+		*l = Line{}
+		return old, true
+	}
+	return Line{}, false
+}
+
+// HasInvalidWay reports whether the set for address a has a free way. The
+// paper's RAT short-cut and Timestamp check both use this.
+func (c *Cache) HasInvalidWay(a mem.Addr) bool {
+	base := c.SetOf(a) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if !c.lines[base+i].Valid {
+			return true
+		}
+	}
+	return false
+}
+
+// MinLastAccess returns the minimum last-access time among valid lines in
+// a's set and whether the set is full. When the set has an invalid way the
+// paper's Timestamp check passes trivially; callers should consult full.
+func (c *Cache) MinLastAccess(a mem.Addr) (min mem.Cycle, full bool) {
+	base := c.SetOf(a) * c.ways
+	full = true
+	min = ^mem.Cycle(0)
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if !l.Valid {
+			full = false
+			continue
+		}
+		if l.LastAccess < min {
+			min = l.LastAccess
+		}
+	}
+	if !full {
+		min = 0
+	}
+	return min, full
+}
+
+// ForEach calls fn for every valid line. Used by drain/flush paths and
+// tests; fn must not insert or invalidate concurrently.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// CountValid returns the number of valid lines (test helper and occupancy
+// metric).
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lacc/internal/mem"
+)
+
+// Property: after any sequence of inserts, every set holds at most `ways`
+// valid lines, no address appears twice, and occupancy never exceeds
+// capacity.
+func TestInsertInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := New(8*64*4, 4) // 8 sets, 4 ways
+		resident := map[mem.Addr]bool{}
+		for _, r := range raw {
+			a := mem.Addr(r) * mem.LineBytes
+			if c.Probe(a) != nil {
+				c.Touch(c.Probe(a), 1)
+				continue
+			}
+			_, victim, ev := c.Insert(a)
+			if ev {
+				delete(resident, victim.Addr)
+			}
+			resident[mem.LineOf(a)] = true
+		}
+		if c.CountValid() != len(resident) {
+			return false
+		}
+		// All tracked lines must probe successfully and vice versa.
+		ok := true
+		c.ForEach(func(l *Line) {
+			if !resident[l.Addr] {
+				ok = false
+			}
+		})
+		for a := range resident {
+			if c.Probe(a) == nil {
+				ok = false
+			}
+		}
+		return ok && c.CountValid() <= c.Sets()*c.Ways()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the LRU victim is always the least recently touched valid line
+// in its set.
+func TestLRUProperty(t *testing.T) {
+	f := func(order []uint8) bool {
+		c := New(1*64*4, 4) // one set, 4 ways
+		var now mem.Cycle
+		touched := map[mem.Addr]mem.Cycle{}
+		for _, o := range order {
+			a := mem.Addr(o%16) * 64
+			now++
+			if l := c.Probe(a); l != nil {
+				c.Touch(l, now)
+				touched[a] = now
+				continue
+			}
+			l, victim, ev := c.Insert(a)
+			if ev {
+				// victim must have the minimum touch time among resident.
+				vt := touched[victim.Addr]
+				for ra, rt := range touched {
+					if ra != victim.Addr && rt < vt {
+						return false
+					}
+				}
+				delete(touched, victim.Addr)
+			}
+			c.Touch(l, now)
+			touched[a] = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinLastAccess over a full set equals the true minimum of the
+// touch times.
+func TestMinLastAccessProperty(t *testing.T) {
+	f := func(times [4]uint16) bool {
+		c := New(1*64*4, 4)
+		min := mem.Cycle(^uint64(0))
+		for i, ti := range times {
+			l, _, _ := c.Insert(mem.Addr(i) * 64)
+			c.Touch(l, mem.Cycle(ti))
+			if mem.Cycle(ti) < min {
+				min = mem.Cycle(ti)
+			}
+		}
+		got, full := c.MinLastAccess(0)
+		return full && got == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+
+	"lacc/internal/mem"
+)
+
+// tiny returns a 4-line, 4-way (single set) cache for directed tests.
+func tiny() *Cache { return New(4*mem.LineBytes, 4) }
+
+func addr(i int) mem.Addr { return mem.Addr(i) * mem.LineBytes }
+
+const replicaState uint8 = 99
+
+func TestTryInsertUsesFreeWays(t *testing.T) {
+	c := tiny()
+	never := func(*Line) bool { return false }
+	for i := 0; i < 4; i++ {
+		l, _, evicted := c.TryInsert(addr(i), never)
+		if l == nil || evicted {
+			t.Fatalf("insert %d into free way failed (line=%v evicted=%v)", i, l, evicted)
+		}
+	}
+	if c.CountValid() != 4 {
+		t.Fatalf("CountValid = %d, want 4", c.CountValid())
+	}
+	// Set now full of unapprovable lines: insertion must be refused.
+	if l, _, _ := c.TryInsert(addr(5), never); l != nil {
+		t.Fatal("TryInsert displaced an unapprovable line")
+	}
+	if c.CountValid() != 4 {
+		t.Fatal("refused insert mutated the set")
+	}
+}
+
+func TestTryInsertEvictsOnlyApproved(t *testing.T) {
+	c := tiny()
+	for i := 0; i < 4; i++ {
+		l, _, _ := c.Insert(addr(i))
+		if i == 2 {
+			l.State = replicaState
+		}
+		c.Touch(l, mem.Cycle(i))
+	}
+	l, victim, evicted := c.TryInsert(addr(7), func(w *Line) bool { return w.State == replicaState })
+	if l == nil || !evicted {
+		t.Fatalf("TryInsert did not evict the approved line (line=%v evicted=%v)", l, evicted)
+	}
+	if victim.Addr != addr(2) {
+		t.Fatalf("victim %#x, want the replica at %#x", victim.Addr, addr(2))
+	}
+	if c.Probe(addr(7)) == nil {
+		t.Fatal("inserted line not resident")
+	}
+}
+
+func TestTryInsertPicksLRUAmongApproved(t *testing.T) {
+	c := tiny()
+	for i := 0; i < 4; i++ {
+		l, _, _ := c.Insert(addr(i))
+		l.State = replicaState
+		c.Touch(l, mem.Cycle(i))
+	}
+	// Refresh line 0 so line 1 becomes LRU.
+	c.Touch(c.Probe(addr(0)), 100)
+	_, victim, _ := c.TryInsert(addr(9), func(w *Line) bool { return w.State == replicaState })
+	if victim.Addr != addr(1) {
+		t.Fatalf("victim %#x, want LRU replica %#x", victim.Addr, addr(1))
+	}
+}
+
+func TestTryInsertPanicsOnResident(t *testing.T) {
+	c := tiny()
+	c.Insert(addr(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryInsert of a resident line did not panic")
+		}
+	}()
+	c.TryInsert(addr(3), func(*Line) bool { return true })
+}
+
+func TestTryInsertCountsEvictions(t *testing.T) {
+	c := tiny()
+	for i := 0; i < 4; i++ {
+		l, _, _ := c.Insert(addr(i))
+		l.State = replicaState
+	}
+	before := c.Evictions
+	c.TryInsert(addr(8), func(w *Line) bool { return w.State == replicaState })
+	if c.Evictions != before+1 {
+		t.Fatalf("Evictions = %d, want %d", c.Evictions, before+1)
+	}
+}

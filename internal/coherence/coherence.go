@@ -1,0 +1,131 @@
+// Package coherence provides the MESI state machine vocabulary and the
+// ACKwise-p limited-directory sharer tracking of Kurian et al. (PACT 2010),
+// which the paper uses as its baseline directory protocol (Section 3.1).
+//
+// A SharerSet tracks up to p sharer identities exactly; once the sharer
+// count exceeds p the additional identities are dropped and only the count
+// is maintained. An exclusive request must then broadcast the invalidation
+// but needs acknowledgements only from the actual sharers (the count).
+// A full-map directory is the special case p >= number of cores.
+package coherence
+
+import "fmt"
+
+// State is a cache line's directory-visible coherence state.
+type State uint8
+
+// MESI directory states. Uncached means no private L1 copy exists (the data
+// may still be resident in the shared L2). Exclusive covers a clean owner
+// copy (E) which may silently transition to Modified in the owner's L1.
+const (
+	Uncached State = iota
+	SharedState
+	ExclusiveState
+	ModifiedState
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Uncached:
+		return "U"
+	case SharedState:
+		return "S"
+	case ExclusiveState:
+		return "E"
+	case ModifiedState:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// SharerSet is an ACKwise-p sharer list: at most p identified sharers plus a
+// count of unidentified ones. The zero value is unusable; construct with
+// NewSharerSet.
+type SharerSet struct {
+	ids     []int16
+	unknown int32
+	p       int
+}
+
+// NewSharerSet returns a sharer set with p hardware pointers. For a full-map
+// directory pass p = number of cores.
+func NewSharerSet(p int) SharerSet {
+	if p <= 0 {
+		panic("coherence: sharer set needs at least one pointer")
+	}
+	return SharerSet{ids: make([]int16, 0, p), p: p}
+}
+
+// Pointers returns the number of hardware pointers p.
+func (s *SharerSet) Pointers() int { return s.p }
+
+// Add records core as a sharer. The protocol layer must only add cores that
+// are not already sharers (an L1 miss implies no copy). When all p pointers
+// are in use the identity is dropped and only the count grows.
+func (s *SharerSet) Add(core int) {
+	if s.Contains(core) {
+		panic(fmt.Sprintf("coherence: Add of existing sharer %d", core))
+	}
+	if len(s.ids) < s.p {
+		s.ids = append(s.ids, int16(core))
+		return
+	}
+	s.unknown++
+}
+
+// Remove drops core from the set (e.g., on an L1 eviction notification). If
+// the core was not an identified sharer it must be one of the unidentified
+// ones, so the count is decremented.
+func (s *SharerSet) Remove(core int) {
+	for i, id := range s.ids {
+		if id == int16(core) {
+			s.ids[i] = s.ids[len(s.ids)-1]
+			s.ids = s.ids[:len(s.ids)-1]
+			return
+		}
+	}
+	if s.unknown > 0 {
+		s.unknown--
+		return
+	}
+	panic(fmt.Sprintf("coherence: Remove of non-sharer %d", core))
+}
+
+// Contains reports whether core is an identified sharer. With overflow the
+// answer for unidentified sharers is unknown; callers needing membership
+// must consult MaybeSharer.
+func (s *SharerSet) Contains(core int) bool {
+	for _, id := range s.ids {
+		if id == int16(core) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaybeSharer reports whether core could be a sharer (true for any core once
+// the set has overflowed).
+func (s *SharerSet) MaybeSharer(core int) bool {
+	return s.unknown > 0 || s.Contains(core)
+}
+
+// Count returns the exact number of sharers (identified + unidentified).
+// ACKwise always tracks the count so that broadcast invalidations can wait
+// for exactly this many acknowledgements.
+func (s *SharerSet) Count() int { return len(s.ids) + int(s.unknown) }
+
+// Overflowed reports whether identities have been dropped; an exclusive
+// request must broadcast rather than multicast.
+func (s *SharerSet) Overflowed() bool { return s.unknown > 0 }
+
+// Identified returns the identified sharer IDs (shared backing array; do not
+// mutate).
+func (s *SharerSet) Identified() []int16 { return s.ids }
+
+// Clear empties the set (after a full invalidation completes).
+func (s *SharerSet) Clear() {
+	s.ids = s.ids[:0]
+	s.unknown = 0
+}

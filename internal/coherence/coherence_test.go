@@ -1,0 +1,152 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Uncached: "U", SharedState: "S", ExclusiveState: "E",
+		ModifiedState: "M", State(9): "State(9)",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("State(%d).String() = %q, want %q", uint8(s), s.String(), str)
+		}
+	}
+}
+
+func TestNewSharerSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharerSet(0) did not panic")
+		}
+	}()
+	NewSharerSet(0)
+}
+
+func TestSharerSetBasics(t *testing.T) {
+	s := NewSharerSet(4)
+	if s.Count() != 0 || s.Overflowed() {
+		t.Fatal("fresh set not empty")
+	}
+	for i := 0; i < 4; i++ {
+		s.Add(i)
+	}
+	if s.Count() != 4 || s.Overflowed() {
+		t.Fatalf("count=%d overflow=%v", s.Count(), s.Overflowed())
+	}
+	for i := 0; i < 4; i++ {
+		if !s.Contains(i) {
+			t.Errorf("missing sharer %d", i)
+		}
+	}
+	s.Remove(2)
+	if s.Count() != 3 || s.Contains(2) {
+		t.Fatal("remove failed")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestSharerSetOverflow(t *testing.T) {
+	// ACKwise4 behaviour: 5th sharer drops identity, count still exact.
+	s := NewSharerSet(4)
+	for i := 0; i < 6; i++ {
+		s.Add(i)
+	}
+	if s.Count() != 6 {
+		t.Fatalf("count = %d, want 6", s.Count())
+	}
+	if !s.Overflowed() {
+		t.Fatal("expected overflow")
+	}
+	if len(s.Identified()) != 4 {
+		t.Fatalf("identified = %d, want 4", len(s.Identified()))
+	}
+	// Unidentified sharers are "maybe" sharers.
+	if !s.MaybeSharer(5) || !s.MaybeSharer(63) {
+		t.Fatal("overflowed set must treat any core as possible sharer")
+	}
+	// Removing an identified sharer keeps overflow (2 unknown remain).
+	s.Remove(0)
+	if s.Count() != 5 || !s.Overflowed() {
+		t.Fatalf("after remove: count=%d overflow=%v", s.Count(), s.Overflowed())
+	}
+	// Removing unidentified sharers drains the unknown count.
+	s.Remove(4)
+	s.Remove(5)
+	if s.Count() != 3 || s.Overflowed() {
+		t.Fatalf("after draining unknowns: count=%d overflow=%v", s.Count(), s.Overflowed())
+	}
+}
+
+func TestRemoveNonSharerPanics(t *testing.T) {
+	s := NewSharerSet(2)
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove of non-sharer did not panic")
+		}
+	}()
+	s.Remove(7)
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	s := NewSharerSet(2)
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	s.Add(1)
+}
+
+func TestFullMapNeverOverflows(t *testing.T) {
+	s := NewSharerSet(64)
+	for i := 0; i < 64; i++ {
+		s.Add(i)
+	}
+	if s.Overflowed() {
+		t.Fatal("full-map set overflowed")
+	}
+	if s.Count() != 64 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+// Property: Count always equals adds minus removes, regardless of pointer
+// pressure; a set fully drained is empty and non-overflowed.
+func TestSharerSetCountProperty(t *testing.T) {
+	f := func(cores []uint8, p uint8) bool {
+		if p == 0 {
+			p = 1
+		}
+		s := NewSharerSet(int(p%8) + 1)
+		members := map[int]bool{}
+		order := []int{}
+		for _, c := range cores {
+			id := int(c % 32)
+			if members[id] {
+				continue
+			}
+			members[id] = true
+			order = append(order, id)
+			s.Add(id)
+		}
+		if s.Count() != len(order) {
+			return false
+		}
+		for _, id := range order {
+			s.Remove(id)
+		}
+		return s.Count() == 0 && !s.Overflowed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

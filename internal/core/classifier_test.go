@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClassifierSelection(t *testing.T) {
+	if _, ok := NewClassifier(64, 0).(*complete); !ok {
+		t.Fatal("k=0 must select the Complete classifier")
+	}
+	if _, ok := NewClassifier(64, 64).(*complete); !ok {
+		t.Fatal("k=cores must select the Complete classifier")
+	}
+	if _, ok := NewClassifier(64, 3).(*limited); !ok {
+		t.Fatal("k=3 must select the Limited classifier")
+	}
+}
+
+func TestCompleteInitialModePrivate(t *testing.T) {
+	c := NewClassifier(8, 0)
+	for i := 0; i < 8; i++ {
+		if c.ModeOf(i) != ModePrivate {
+			t.Fatalf("core %d initial mode %v", i, c.ModeOf(i))
+		}
+	}
+	n := 0
+	c.ForEachTracked(func(int, *CoreState) { n++ })
+	if n != 8 {
+		t.Fatalf("tracked %d cores, want 8", n)
+	}
+}
+
+func TestCompleteLookupIsStable(t *testing.T) {
+	c := NewClassifier(4, 0)
+	st := c.Lookup(2)
+	st.Mode = ModeRemote
+	st.RemoteUtil = 7
+	again := c.Lookup(2)
+	if again.Mode != ModeRemote || again.RemoteUtil != 7 {
+		t.Fatal("Complete classifier lost state")
+	}
+}
+
+func TestLimitedFreeEntryStartsPrivate(t *testing.T) {
+	c := NewClassifier(64, 3)
+	st := c.Lookup(10)
+	if st.Mode != ModePrivate {
+		t.Fatal("fresh entry must start private")
+	}
+	st.Mode = ModeRemote
+	if c.ModeOf(10) != ModeRemote {
+		t.Fatal("tracked state not visible via ModeOf")
+	}
+}
+
+func TestLimitedMajorityVoteForUntracked(t *testing.T) {
+	c := NewClassifier(64, 3)
+	// Fill the three entries with remote, active sharers.
+	for i := 0; i < 3; i++ {
+		st := c.Lookup(i)
+		st.Mode = ModeRemote
+		st.Active = true
+	}
+	// Untracked core with no replacement candidate: majority vote = remote.
+	if c.ModeOf(50) != ModeRemote {
+		t.Fatal("untracked mode must be the majority vote")
+	}
+	st := c.Lookup(50)
+	if st.Mode != ModeRemote {
+		t.Fatal("ephemeral state must carry the majority mode")
+	}
+	// Mutations to the ephemeral state are dropped.
+	st.RemoteUtil = 99
+	if c.Lookup(50).RemoteUtil != 0 {
+		t.Fatal("untracked counters must not persist")
+	}
+	// The tracked list is unchanged.
+	tracked := map[int]bool{}
+	c.ForEachTracked(func(core int, _ *CoreState) { tracked[core] = true })
+	if len(tracked) != 3 || !tracked[0] || !tracked[1] || !tracked[2] {
+		t.Fatalf("tracked set changed: %v", tracked)
+	}
+}
+
+func TestLimitedReplacementOfInactiveSharer(t *testing.T) {
+	c := NewClassifier(64, 3)
+	for i := 0; i < 3; i++ {
+		st := c.Lookup(i)
+		st.Mode = ModeRemote
+		st.Active = true
+	}
+	// Core 1 becomes inactive (e.g., invalidated): replaceable.
+	c.Lookup(1).Active = false
+	st := c.Lookup(40)
+	if st.Mode != ModeRemote {
+		t.Fatal("replacement must start in majority mode")
+	}
+	tracked := map[int]bool{}
+	c.ForEachTracked(func(core int, _ *CoreState) { tracked[core] = true })
+	if !tracked[40] || tracked[1] {
+		t.Fatalf("replacement did not swap cores: %v", tracked)
+	}
+}
+
+func TestLimitedMajorityTieFallsBackPrivate(t *testing.T) {
+	c := NewClassifier(64, 2)
+	a := c.Lookup(0)
+	a.Mode = ModePrivate
+	a.Active = true
+	b := c.Lookup(1)
+	b.Mode = ModeRemote
+	b.Active = true
+	if c.ModeOf(9) != ModePrivate {
+		t.Fatal("tie must fall back to the initial private mode")
+	}
+}
+
+func TestStorageBitsMatchesPaperArithmetic(t *testing.T) {
+	p := DefaultParams() // PCT 4, RATmax 16, 2 levels
+	// Section 3.6: Limited3 tracks 3 sharers, 12 bits each = 36 bits.
+	if got := StorageBits(64, 3, p); got != 36 {
+		t.Fatalf("Limited3 bits = %d, want 36", got)
+	}
+	// Complete: 64 cores x 6 bits = 384 bits.
+	if got := StorageBits(64, 0, p); got != 384 {
+		t.Fatalf("Complete bits = %d, want 384", got)
+	}
+}
+
+// Property: Limited-k never tracks more than k cores, ModeOf always returns
+// a valid mode, and tracked Lookups are stable pointers.
+func TestLimitedInvariants(t *testing.T) {
+	f := func(ops []uint8, k uint8) bool {
+		kk := int(k%6) + 1
+		c := newLimited(32, kk)
+		for _, op := range ops {
+			coreID := int(op % 32)
+			st := c.Lookup(coreID)
+			// Toggle activity/mode pseudo-randomly.
+			st.Active = op&0x40 != 0
+			if op&0x80 != 0 {
+				st.Mode = ModeRemote
+			}
+			n := 0
+			c.ForEachTracked(func(int, *CoreState) { n++ })
+			if n > kk {
+				return false
+			}
+			if m := c.ModeOf(coreID); m != ModePrivate && m != ModeRemote {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RATThreshold is monotone in level and bounded by [PCT, RATMax].
+func TestRATThresholdProperties(t *testing.T) {
+	f := func(pct, ratMax, levels uint8) bool {
+		p := Params{
+			PCT:        int(pct%16) + 1,
+			NRATLevels: int(levels%8) + 1,
+		}
+		p.RATMax = p.PCT + int(ratMax%32)
+		prev := 0
+		for lvl := uint8(0); lvl <= p.MaxRATLevel(); lvl++ {
+			thr := p.RATThreshold(lvl)
+			if thr < p.PCT || thr > p.RATMax || thr < prev {
+				return false
+			}
+			prev = thr
+		}
+		if p.NRATLevels > 1 && p.RATThreshold(p.MaxRATLevel()) != p.RATMax {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

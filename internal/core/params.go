@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: the
+// locality-aware private/remote classification of (cache line, core) pairs
+// (Section 3). It provides:
+//
+//   - the per-core classification state (mode, remote utilization counter,
+//     RAT level) stored in each directory entry,
+//   - the Private Caching Threshold (PCT) demotion rule applied when a
+//     private copy is evicted or invalidated (Section 3.2),
+//   - the Remote Access Threshold (RAT) ladder that approximates the
+//     Timestamp check (Section 3.3),
+//   - the Complete classifier (state for every core) and the Limited-k
+//     classifier (state for k cores plus majority voting, Section 3.4),
+//   - the simpler one-way transition variant Adapt1-way (Section 3.7).
+package core
+
+import "fmt"
+
+// Mode is a core's sharer classification for one cache line.
+type Mode uint8
+
+// Sharer modes. Every core starts as a private sharer of every line
+// (Figure 4, "Initial").
+const (
+	ModePrivate Mode = iota
+	ModeRemote
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModePrivate {
+		return "P"
+	}
+	return "R"
+}
+
+// Params are the protocol parameters of Table 1.
+type Params struct {
+	// PCT is the Private Caching Threshold: the utilization at or above
+	// which a core is (or stays) a private sharer. PCT=1 disables demotion
+	// entirely and reduces the protocol to the baseline directory protocol.
+	PCT int
+	// RATMax is the maximum remote access threshold (Table 1: 16).
+	RATMax int
+	// NRATLevels is the number of RAT levels (Table 1: 2).
+	NRATLevels int
+	// UseTimestamp selects the exact Timestamp-based classification of
+	// Section 3.2 instead of the RAT approximation of Section 3.3.
+	UseTimestamp bool
+	// OneWay selects the Adapt1-way protocol of Section 3.7: cores demoted
+	// to remote sharers are never promoted back.
+	OneWay bool
+}
+
+// DefaultParams returns the paper's default protocol parameters (Table 1).
+func DefaultParams() Params {
+	return Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.PCT < 1 {
+		return fmt.Errorf("core: PCT must be >= 1, got %d", p.PCT)
+	}
+	if !p.UseTimestamp {
+		if p.NRATLevels < 1 {
+			return fmt.Errorf("core: nRATlevels must be >= 1, got %d", p.NRATLevels)
+		}
+		if p.RATMax < p.PCT {
+			return fmt.Errorf("core: RATmax (%d) below PCT (%d)", p.RATMax, p.PCT)
+		}
+	}
+	return nil
+}
+
+// RATThreshold returns the remote→private promotion threshold for a RAT
+// level. RAT starts at PCT (level 0) and is additively increased in equal
+// steps up to RATMax over NRATLevels-1 steps (Section 3.3).
+func (p Params) RATThreshold(level uint8) int {
+	if p.NRATLevels <= 1 {
+		return p.PCT
+	}
+	maxLevel := p.NRATLevels - 1
+	l := int(level)
+	if l > maxLevel {
+		l = maxLevel
+	}
+	// Round to nearest step so RATThreshold(maxLevel) == RATMax exactly.
+	return p.PCT + (l*(p.RATMax-p.PCT)+maxLevel/2)/maxLevel
+}
+
+// MaxRATLevel returns the highest representable RAT level.
+func (p Params) MaxRATLevel() uint8 {
+	if p.NRATLevels <= 1 {
+		return 0
+	}
+	return uint8(p.NRATLevels - 1)
+}
+
+// CoreState is the per-(line, core) classification state held in a
+// directory entry (Figures 6 and 7): mode bit, remote utilization counter
+// and RAT level, plus an activity bit used by the Limited-k replacement
+// policy.
+type CoreState struct {
+	Mode       Mode
+	RemoteUtil uint16
+	RATLevel   uint8
+	// Active marks the core as currently using the line: private sharers
+	// are active while they hold a copy; remote sharers are active until
+	// another core writes (Section 3.4 replacement policy).
+	Active bool
+}
+
+// utilCap bounds the remote utilization counter; 4 bits suffice for the
+// paper's RATmax of 16 but we keep headroom for sweeps.
+const utilCap = 1 << 14
+
+// RemoteAccess records one remote (word) access by a core and decides
+// whether the core is promoted to a private sharer. tsPass is the outcome
+// of the Timestamp check (meaningful only when p.UseTimestamp);
+// hasInvalidWay reports a free way in the requester's L1 set, enabling the
+// short-cut promotion at PCT (Section 3.3).
+func RemoteAccess(p Params, st *CoreState, tsPass, hasInvalidWay bool) (promoted bool) {
+	st.Active = true
+	if p.UseTimestamp {
+		// Exact scheme: increment on a passing check, else reset to 1; the
+		// promotion threshold is PCT itself.
+		if tsPass || hasInvalidWay {
+			if st.RemoteUtil < utilCap {
+				st.RemoteUtil++
+			}
+		} else {
+			st.RemoteUtil = 1
+		}
+		promoted = int(st.RemoteUtil) >= p.PCT
+	} else {
+		if st.RemoteUtil < utilCap {
+			st.RemoteUtil++
+		}
+		switch {
+		case hasInvalidWay && int(st.RemoteUtil) >= p.PCT:
+			// Short-cut: no pollution risk, promote at PCT.
+			promoted = true
+		case int(st.RemoteUtil) >= p.RATThreshold(st.RATLevel):
+			promoted = true
+		}
+	}
+	if p.OneWay {
+		promoted = false
+	}
+	if promoted {
+		st.Mode = ModePrivate
+		st.RemoteUtil = 0
+	}
+	return promoted
+}
+
+// Classify applies the private-caching-threshold rule when a core's private
+// copy leaves its L1 (eviction or invalidation): the core stays private iff
+// private + remote utilization reaches PCT (Section 3.2). RAT level
+// adjustments follow Section 3.3: an eviction that demotes raises the
+// level, an invalidation that demotes leaves it, and a private
+// classification resets it so the core can re-learn.
+func Classify(p Params, st *CoreState, privateUtil uint32, eviction bool) {
+	total := uint64(privateUtil) + uint64(st.RemoteUtil)
+	if total >= uint64(p.PCT) {
+		st.Mode = ModePrivate
+		st.RATLevel = 0
+	} else {
+		st.Mode = ModeRemote
+		if eviction && st.RATLevel < p.MaxRATLevel() {
+			st.RATLevel++
+		}
+	}
+	st.RemoteUtil = 0
+	st.Active = false
+}

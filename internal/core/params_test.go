@@ -1,0 +1,201 @@
+package core
+
+import "testing"
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.PCT != 4 || p.RATMax != 16 || p.NRATLevels != 2 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{PCT: 0, RATMax: 16, NRATLevels: 2},
+		{PCT: 4, RATMax: 16, NRATLevels: 0},
+		{PCT: 8, RATMax: 4, NRATLevels: 2},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("Validate(%+v) accepted bad params", p)
+		}
+	}
+	// Timestamp mode ignores RAT fields.
+	ok := Params{PCT: 4, UseTimestamp: true}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("timestamp params rejected: %v", err)
+	}
+}
+
+func TestRATThresholdLadder(t *testing.T) {
+	// Table 1 defaults: PCT 4, RATmax 16, 2 levels -> thresholds {4, 16}.
+	p := Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+	if got := p.RATThreshold(0); got != 4 {
+		t.Errorf("level 0 = %d, want 4", got)
+	}
+	if got := p.RATThreshold(1); got != 16 {
+		t.Errorf("level 1 = %d, want 16", got)
+	}
+	// Levels beyond the ladder clamp to RATMax.
+	if got := p.RATThreshold(9); got != 16 {
+		t.Errorf("clamped level = %d, want 16", got)
+	}
+	// Fig 12's L-4 T-16 configuration: 4 levels from 4 to 16.
+	p4 := Params{PCT: 4, RATMax: 16, NRATLevels: 4}
+	want := []int{4, 8, 12, 16}
+	for lvl, w := range want {
+		if got := p4.RATThreshold(uint8(lvl)); got != w {
+			t.Errorf("L4: level %d = %d, want %d", lvl, got, w)
+		}
+	}
+	// Single level: threshold stays at PCT.
+	p1 := Params{PCT: 4, RATMax: 16, NRATLevels: 1}
+	if got := p1.RATThreshold(0); got != 4 {
+		t.Errorf("L1: threshold = %d, want 4", got)
+	}
+	if p1.MaxRATLevel() != 0 {
+		t.Errorf("L1 max level = %d", p1.MaxRATLevel())
+	}
+	if p4.MaxRATLevel() != 3 {
+		t.Errorf("L4 max level = %d", p4.MaxRATLevel())
+	}
+}
+
+func TestRemoteAccessRATPromotion(t *testing.T) {
+	p := Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+	st := &CoreState{Mode: ModeRemote}
+	// Level 0 threshold is PCT=4: three accesses stay remote, the fourth
+	// promotes.
+	for i := 0; i < 3; i++ {
+		if RemoteAccess(p, st, false, false) {
+			t.Fatalf("promoted after %d accesses", i+1)
+		}
+	}
+	if !RemoteAccess(p, st, false, false) {
+		t.Fatal("not promoted at threshold")
+	}
+	if st.Mode != ModePrivate || st.RemoteUtil != 0 {
+		t.Fatalf("post-promotion state: %+v", st)
+	}
+	if !st.Active {
+		t.Fatal("promoted sharer must be active")
+	}
+}
+
+func TestRemoteAccessHighRATLevel(t *testing.T) {
+	p := Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+	st := &CoreState{Mode: ModeRemote, RATLevel: 1} // threshold 16
+	for i := 0; i < 15; i++ {
+		if RemoteAccess(p, st, false, false) {
+			t.Fatalf("promoted at %d accesses under RAT 16", i+1)
+		}
+	}
+	if !RemoteAccess(p, st, false, false) {
+		t.Fatal("not promoted at RATmax accesses")
+	}
+}
+
+func TestRemoteAccessInvalidWayShortcut(t *testing.T) {
+	// Even at RAT level 1 (threshold 16), an invalid way in the L1 set
+	// promotes at PCT (Section 3.3 short-cut).
+	p := Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+	st := &CoreState{Mode: ModeRemote, RATLevel: 1}
+	for i := 0; i < 3; i++ {
+		if RemoteAccess(p, st, false, true) {
+			t.Fatalf("promoted below PCT at access %d", i+1)
+		}
+	}
+	if !RemoteAccess(p, st, false, true) {
+		t.Fatal("shortcut did not promote at PCT")
+	}
+}
+
+func TestRemoteAccessTimestampScheme(t *testing.T) {
+	p := Params{PCT: 3, UseTimestamp: true}
+	st := &CoreState{Mode: ModeRemote}
+	// Failing checks keep resetting the counter to 1: never promotes.
+	for i := 0; i < 10; i++ {
+		if RemoteAccess(p, st, false, false) {
+			t.Fatal("promoted despite failing timestamp checks")
+		}
+		if st.RemoteUtil != 1 {
+			t.Fatalf("util = %d, want reset to 1", st.RemoteUtil)
+		}
+	}
+	// Passing checks accumulate to PCT.
+	RemoteAccess(p, st, true, false)
+	if !RemoteAccess(p, st, true, false) {
+		t.Fatal("not promoted after PCT passing accesses")
+	}
+}
+
+func TestOneWayNeverPromotes(t *testing.T) {
+	p := Params{PCT: 2, RATMax: 16, NRATLevels: 2, OneWay: true}
+	st := &CoreState{Mode: ModeRemote}
+	for i := 0; i < 100; i++ {
+		if RemoteAccess(p, st, true, true) {
+			t.Fatal("Adapt1-way promoted a remote sharer")
+		}
+	}
+	if st.Mode != ModeRemote {
+		t.Fatal("mode changed under one-way protocol")
+	}
+}
+
+func TestClassifyDemotionAndRAT(t *testing.T) {
+	p := Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+	st := &CoreState{Mode: ModePrivate, Active: true}
+
+	// High utilization keeps the core private and resets the RAT ladder.
+	st.RATLevel = 1
+	Classify(p, st, 6, true)
+	if st.Mode != ModePrivate || st.RATLevel != 0 {
+		t.Fatalf("well-utilized eviction: %+v", st)
+	}
+	if st.Active {
+		t.Fatal("classified sharer must become inactive")
+	}
+
+	// Low utilization on eviction demotes and raises the RAT level.
+	Classify(p, st, 1, true)
+	if st.Mode != ModeRemote || st.RATLevel != 1 {
+		t.Fatalf("low-utilization eviction: %+v", st)
+	}
+
+	// Low utilization on invalidation demotes but leaves the RAT level.
+	st2 := &CoreState{Mode: ModePrivate}
+	Classify(p, st2, 1, false)
+	if st2.Mode != ModeRemote || st2.RATLevel != 0 {
+		t.Fatalf("invalidation demotion: %+v", st2)
+	}
+
+	// Remote utilization counts toward the classification (Section 3.2).
+	st3 := &CoreState{Mode: ModePrivate, RemoteUtil: 3}
+	Classify(p, st3, 1, true)
+	if st3.Mode != ModePrivate {
+		t.Fatal("private+remote utilization >= PCT must stay private")
+	}
+	if st3.RemoteUtil != 0 {
+		t.Fatal("classification must reset the remote utilization")
+	}
+}
+
+func TestClassifyRATLevelCaps(t *testing.T) {
+	p := Params{PCT: 4, RATMax: 16, NRATLevels: 2}
+	st := &CoreState{Mode: ModePrivate}
+	for i := 0; i < 5; i++ {
+		Classify(p, st, 0, true)
+	}
+	if st.RATLevel != 1 {
+		t.Fatalf("RAT level = %d, want capped at 1", st.RATLevel)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePrivate.String() != "P" || ModeRemote.String() != "R" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,116 @@
+// Package dram models the off-chip memory subsystem of Table 1: 8 memory
+// controllers, 5 GBps of bandwidth per controller and 100 ns access latency.
+// Queueing delay from the finite per-controller bandwidth is modeled with a
+// next-free-time service queue, matching the paper's "queueing delay
+// incurred due to finite off-chip bandwidth".
+package dram
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+)
+
+// Config describes the off-chip memory system.
+type Config struct {
+	// Controllers is the number of memory controllers (Table 1: 8).
+	Controllers int
+	// LatencyCycles is the DRAM access latency (Table 1: 100 ns = 100
+	// cycles at 1 GHz).
+	LatencyCycles int
+	// BytesPerCycle is the per-controller bandwidth (Table 1: 5 GBps at
+	// 1 GHz = 5 bytes per cycle).
+	BytesPerCycle float64
+	// Tiles lists the mesh tile hosting each controller. Length must equal
+	// Controllers.
+	Tiles []int
+}
+
+// DefaultTiles places n controllers evenly on the left and right edges of a
+// width×height mesh, mirroring tiled multicores with edge memory
+// controllers (Figure 3 shows "Mem Ctrl" tiles on the chip boundary).
+func DefaultTiles(n, width, height int) []int {
+	tiles := make([]int, 0, n)
+	half := (n + 1) / 2
+	for i := 0; i < half; i++ { // left edge, evenly spaced rows
+		row := i * height / half
+		tiles = append(tiles, row*width)
+	}
+	for i := 0; len(tiles) < n; i++ { // right edge
+		row := i * height / (n - half)
+		tiles = append(tiles, row*width+width-1)
+	}
+	return tiles
+}
+
+// Model is the memory-controller array. Not safe for concurrent use.
+type Model struct {
+	cfg      Config
+	nextFree []mem.Cycle
+
+	// Reads and Writes count line/word transfers per direction.
+	Reads, Writes uint64
+	// BytesMoved counts payload bytes for bandwidth sanity checks.
+	BytesMoved uint64
+	// QueueCycles accumulates total queueing delay for diagnostics.
+	QueueCycles uint64
+}
+
+// New returns a DRAM model for cfg.
+func New(cfg Config) *Model {
+	if cfg.Controllers <= 0 {
+		panic("dram: need at least one controller")
+	}
+	if len(cfg.Tiles) != cfg.Controllers {
+		panic(fmt.Sprintf("dram: %d tiles for %d controllers", len(cfg.Tiles), cfg.Controllers))
+	}
+	if cfg.BytesPerCycle <= 0 {
+		panic("dram: bandwidth must be positive")
+	}
+	if cfg.LatencyCycles < 0 {
+		panic("dram: negative latency")
+	}
+	return &Model{cfg: cfg, nextFree: make([]mem.Cycle, cfg.Controllers)}
+}
+
+// ControllerOf maps a line address to its controller (line-interleaved).
+func (m *Model) ControllerOf(a mem.Addr) int {
+	return int(mem.LineIndex(a)) % m.cfg.Controllers
+}
+
+// TileOf returns the mesh tile hosting controller c.
+func (m *Model) TileOf(c int) int { return m.cfg.Tiles[c] }
+
+// Read services a line read of `bytes` bytes at controller c starting at
+// `at` and returns the completion cycle (queueing + access latency +
+// transfer).
+func (m *Model) Read(c int, bytes int, at mem.Cycle) mem.Cycle {
+	m.Reads++
+	return m.service(c, bytes, at)
+}
+
+// Write services a write-back of `bytes` bytes at controller c. Write-backs
+// consume bandwidth but the caller typically does not wait on the returned
+// completion time (posted writes).
+func (m *Model) Write(c int, bytes int, at mem.Cycle) mem.Cycle {
+	m.Writes++
+	return m.service(c, bytes, at)
+}
+
+func (m *Model) service(c int, bytes int, at mem.Cycle) mem.Cycle {
+	if bytes <= 0 {
+		panic("dram: non-positive transfer size")
+	}
+	start := at
+	if m.nextFree[c] > start {
+		start = m.nextFree[c]
+	}
+	m.QueueCycles += uint64(start - at)
+	transfer := mem.Cycle(float64(bytes)/m.cfg.BytesPerCycle + 0.999999)
+	if transfer == 0 {
+		transfer = 1
+	}
+	m.nextFree[c] = start + transfer
+	m.BytesMoved += uint64(bytes)
+	return start + transfer + mem.Cycle(m.cfg.LatencyCycles)
+}

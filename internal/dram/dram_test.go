@@ -1,0 +1,151 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lacc/internal/mem"
+)
+
+func table1Model() *Model {
+	return New(Config{
+		Controllers:   8,
+		LatencyCycles: 100,
+		BytesPerCycle: 5,
+		Tiles:         DefaultTiles(8, 8, 8),
+	})
+}
+
+func TestDefaultTiles(t *testing.T) {
+	tiles := DefaultTiles(8, 8, 8)
+	if len(tiles) != 8 {
+		t.Fatalf("got %d tiles", len(tiles))
+	}
+	seen := map[int]bool{}
+	for _, tile := range tiles {
+		if tile < 0 || tile >= 64 {
+			t.Errorf("tile %d out of range", tile)
+		}
+		if seen[tile] {
+			t.Errorf("tile %d duplicated", tile)
+		}
+		seen[tile] = true
+		x := tile % 8
+		if x != 0 && x != 7 {
+			t.Errorf("tile %d not on an edge column", tile)
+		}
+	}
+}
+
+func TestControllerInterleaving(t *testing.T) {
+	m := table1Model()
+	// Consecutive lines must hit consecutive controllers.
+	for i := 0; i < 16; i++ {
+		a := mem.Addr(i * 64)
+		if got, want := m.ControllerOf(a), i%8; got != want {
+			t.Errorf("ControllerOf(%#x) = %d, want %d", a, got, want)
+		}
+	}
+	// All offsets within a line map to the same controller.
+	if m.ControllerOf(0x40) != m.ControllerOf(0x7f) {
+		t.Error("intra-line offsets split across controllers")
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	m := table1Model()
+	// 64B at 5 B/cycle = 13 cycles transfer + 100 latency.
+	done := m.Read(0, 64, 0)
+	if done != 113 {
+		t.Fatalf("read done = %d, want 113", done)
+	}
+	if m.Reads != 1 || m.BytesMoved != 64 {
+		t.Fatalf("stats: reads=%d bytes=%d", m.Reads, m.BytesMoved)
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	m := table1Model()
+	a := m.Read(0, 64, 0) // occupies controller 0 until cycle 13
+	b := m.Read(0, 64, 0) // must queue behind the first transfer
+	if a != 113 {
+		t.Fatalf("first = %d", a)
+	}
+	if b != 126 { // starts at 13, +13 transfer +100
+		t.Fatalf("second = %d, want 126", b)
+	}
+	if m.QueueCycles != 13 {
+		t.Fatalf("queue cycles = %d, want 13", m.QueueCycles)
+	}
+	// A different controller is independent.
+	c := m.Read(1, 64, 0)
+	if c != 113 {
+		t.Fatalf("independent controller = %d, want 113", c)
+	}
+}
+
+func TestWriteConsumesBandwidth(t *testing.T) {
+	m := table1Model()
+	m.Write(3, 64, 0)
+	done := m.Read(3, 64, 0)
+	if done != 126 { // queued behind the posted write
+		t.Fatalf("read after write done = %d, want 126", done)
+	}
+	if m.Writes != 1 {
+		t.Fatalf("writes = %d", m.Writes)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no controllers": func() { New(Config{Controllers: 0, BytesPerCycle: 1, Tiles: nil}) },
+		"tile mismatch":  func() { New(Config{Controllers: 2, BytesPerCycle: 1, Tiles: []int{0}}) },
+		"zero bandwidth": func() { New(Config{Controllers: 1, BytesPerCycle: 0, Tiles: []int{0}}) },
+		"neg latency": func() {
+			New(Config{Controllers: 1, BytesPerCycle: 1, LatencyCycles: -1, Tiles: []int{0}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroByteTransferPanics(t *testing.T) {
+	m := table1Model()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-byte read did not panic")
+		}
+	}()
+	m.Read(0, 0, 0)
+}
+
+// Property: completion times at a single controller are monotone for
+// same-time arrivals, and every access takes at least latency + 1 cycle.
+func TestServiceMonotoneProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		m := table1Model()
+		var prev mem.Cycle
+		for _, s := range sizes {
+			bytes := int(s%64) + 1
+			done := m.Read(0, bytes, 0)
+			if done < prev {
+				return false
+			}
+			if done < mem.Cycle(100+1) {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

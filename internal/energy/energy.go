@@ -1,0 +1,101 @@
+// Package energy models the dynamic energy of the memory system (L1-I,
+// L1-D, L2 + integrated directory) and the interconnect (routers and links),
+// the quantities the paper evaluates with McPAT and DSENT at the 11 nm node
+// (Section 4.2).
+//
+// McPAT/DSENT are not available here, so the model uses per-event energy
+// constants chosen to preserve the orderings the paper reports:
+//
+//   - network links consume more energy than routers at 11 nm (wires scale
+//     worse than transistors; Section 5.1.1),
+//   - the directory's energy is negligible next to caches and network,
+//   - the L2 is word-addressable, so a word access is substantially cheaper
+//     than a full line access (Section 4.2),
+//   - L1 accesses are cheaper than L2 accesses.
+//
+// Only relative energies matter for the paper's figures (all results are
+// normalized); the constants are documented in DESIGN.md.
+package energy
+
+import "lacc/internal/stats"
+
+// Params holds per-event dynamic energies in picojoules.
+type Params struct {
+	L1IAccess   float64 // per instruction fetch
+	L1DRead     float64
+	L1DWrite    float64
+	L2WordRead  float64 // word-addressable access by a remote sharer
+	L2WordWrite float64
+	L2LineRead  float64 // full 64-byte line read (fill or write-back)
+	L2LineWrite float64
+	DirLookup   float64 // directory tag/state read
+	DirUpdate   float64 // directory state/classifier update
+	RouterFlit  float64 // per flit per router traversed
+	LinkFlit    float64 // per flit per link traversed
+}
+
+// DefaultParams returns the 11 nm model constants. Ratios follow published
+// McPAT/DSENT characterizations: a full line access moves 8x the bits of a
+// word access but amortizes decode, giving ~4x the energy; links cost ~2x
+// routers per flit at 11 nm.
+func DefaultParams() Params {
+	return Params{
+		L1IAccess:   2.2,
+		L1DRead:     4.4,
+		L1DWrite:    4.9,
+		L2WordRead:  9.5,
+		L2WordWrite: 10.5,
+		L2LineRead:  38.0,
+		L2LineWrite: 42.0,
+		DirLookup:   0.7,
+		DirUpdate:   0.8,
+		RouterFlit:  1.1,
+		LinkFlit:    2.3,
+	}
+}
+
+// Meter counts energy events. The zero value is ready to use.
+type Meter struct {
+	L1IAccesses  uint64
+	L1DReads     uint64
+	L1DWrites    uint64
+	L2WordReads  uint64
+	L2WordWrites uint64
+	L2LineReads  uint64
+	L2LineWrites uint64
+	DirLookups   uint64
+	DirUpdates   uint64
+	RouterFlits  uint64
+	LinkFlits    uint64
+}
+
+// Add accumulates o into m.
+func (m *Meter) Add(o Meter) {
+	m.L1IAccesses += o.L1IAccesses
+	m.L1DReads += o.L1DReads
+	m.L1DWrites += o.L1DWrites
+	m.L2WordReads += o.L2WordReads
+	m.L2WordWrites += o.L2WordWrites
+	m.L2LineReads += o.L2LineReads
+	m.L2LineWrites += o.L2LineWrites
+	m.DirLookups += o.DirLookups
+	m.DirUpdates += o.DirUpdates
+	m.RouterFlits += o.RouterFlits
+	m.LinkFlits += o.LinkFlits
+}
+
+// Breakdown converts the counted events into the paper's Figure 8 energy
+// components using the per-event params.
+func (m *Meter) Breakdown(p Params) stats.EnergyBreakdown {
+	return stats.EnergyBreakdown{
+		L1I: float64(m.L1IAccesses) * p.L1IAccess,
+		L1D: float64(m.L1DReads)*p.L1DRead + float64(m.L1DWrites)*p.L1DWrite,
+		L2: float64(m.L2WordReads)*p.L2WordRead +
+			float64(m.L2WordWrites)*p.L2WordWrite +
+			float64(m.L2LineReads)*p.L2LineRead +
+			float64(m.L2LineWrites)*p.L2LineWrite,
+		Directory: float64(m.DirLookups)*p.DirLookup + float64(m.DirUpdates)*p.DirUpdate,
+		Router:    float64(m.RouterFlits) * p.RouterFlit,
+		Link:      float64(m.LinkFlits) * p.LinkFlit,
+	}
+}

@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamOrderings(t *testing.T) {
+	p := DefaultParams()
+	// Link > router per flit at 11 nm (Section 5.1.1).
+	if p.LinkFlit <= p.RouterFlit {
+		t.Error("link energy must exceed router energy at 11 nm")
+	}
+	// Directory energy negligible versus caches.
+	if p.DirLookup >= p.L1DRead || p.DirUpdate >= p.L1DRead {
+		t.Error("directory energy must be far below cache energy")
+	}
+	// Word access substantially cheaper than line access.
+	if p.L2WordRead*2 >= p.L2LineRead {
+		t.Error("L2 word access not sufficiently cheaper than line access")
+	}
+	// L1 cheaper than L2.
+	if p.L1DRead >= p.L2WordRead {
+		t.Error("L1 access must be cheaper than L2 access")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	p := Params{
+		L1IAccess: 1, L1DRead: 2, L1DWrite: 3,
+		L2WordRead: 4, L2WordWrite: 5, L2LineRead: 6, L2LineWrite: 7,
+		DirLookup: 8, DirUpdate: 9, RouterFlit: 10, LinkFlit: 11,
+	}
+	m := Meter{
+		L1IAccesses: 1, L1DReads: 1, L1DWrites: 1,
+		L2WordReads: 1, L2WordWrites: 1, L2LineReads: 1, L2LineWrites: 1,
+		DirLookups: 1, DirUpdates: 1, RouterFlits: 1, LinkFlits: 1,
+	}
+	b := m.Breakdown(p)
+	if b.L1I != 1 || b.L1D != 5 || b.L2 != 22 || b.Directory != 17 ||
+		b.Router != 10 || b.Link != 11 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Total() != 66 {
+		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestMeterAdd(t *testing.T) {
+	a := Meter{L1IAccesses: 1, L2LineReads: 2, LinkFlits: 3}
+	b := Meter{L1IAccesses: 10, L2LineReads: 20, LinkFlits: 30, DirUpdates: 1}
+	a.Add(b)
+	if a.L1IAccesses != 11 || a.L2LineReads != 22 || a.LinkFlits != 33 || a.DirUpdates != 1 {
+		t.Fatalf("after add: %+v", a)
+	}
+}
+
+// Property: Breakdown is linear in the meter counts.
+func TestBreakdownLinearity(t *testing.T) {
+	p := DefaultParams()
+	f := func(n uint8) bool {
+		m := Meter{
+			L1IAccesses: uint64(n), L1DReads: uint64(n), L1DWrites: uint64(n),
+			L2WordReads: uint64(n), L2LineWrites: uint64(n),
+			RouterFlits: uint64(n), LinkFlits: uint64(n),
+		}
+		double := m
+		double.Add(m)
+		a := m.Breakdown(p).Total()
+		b := double.Breakdown(p).Total()
+		diff := b - 2*a
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment runs the required set of
+// simulations — in parallel, since runs are independent — and returns a
+// structured result with a Render method that prints rows comparable to the
+// paper's artwork.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Fig1And2    — invalidation/eviction breakdown vs utilization (baseline)
+//	PCTSweep    — shared runs behind Figures 8, 9, 10 and 11
+//	Fig12       — remote-access-threshold (RAT) sensitivity vs Timestamp
+//	Fig13       — Limited-k classifier accuracy vs the Complete classifier
+//	Fig14       — Adapt1-way / Adapt2-way ratios
+//	Table1      — architectural parameters
+//	Table2      — benchmark catalog
+//	Storage     — Section 3.6 storage-overhead arithmetic
+//	AckwiseComparison — ACKwise4 vs full-map baseline check (Section 5 prologue)
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lacc/internal/sim"
+	"lacc/internal/workloads"
+)
+
+// Options selects the machine size, workload scale and benchmark subset for
+// an experiment. The zero value means: the paper's 64-core machine, scale
+// 1.0, all 21 benchmarks, one simulation per CPU in parallel.
+type Options struct {
+	// Cores and MeshWidth set the machine geometry (Table 1: 64 cores, 8x8).
+	Cores     int
+	MeshWidth int
+	// Scale is the workload problem-size multiplier.
+	Scale float64
+	// Seed perturbs workload randomness.
+	Seed uint64
+	// Benchmarks restricts the run to a subset (nil = all registered).
+	Benchmarks []string
+	// Parallelism bounds concurrent simulations (<= 0: GOMAXPROCS).
+	Parallelism int
+	// Config customizes the base machine; nil uses sim.Default. PCT and
+	// classifier fields are overridden per experiment as needed.
+	Config *sim.Config
+}
+
+func (o Options) normalize() Options {
+	if o.Cores <= 0 {
+		o.Cores = 64
+	}
+	if o.MeshWidth <= 0 {
+		switch {
+		case o.Cores%8 == 0 && o.Cores >= 64:
+			o.MeshWidth = 8
+		case o.Cores%4 == 0:
+			o.MeshWidth = 4
+		default:
+			o.MeshWidth = o.Cores
+		}
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workloads.Names()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// baseConfig returns the machine configuration for this Options.
+func (o Options) baseConfig() sim.Config {
+	var cfg sim.Config
+	if o.Config != nil {
+		cfg = *o.Config
+	} else {
+		cfg = sim.Default()
+	}
+	cfg.Cores = o.Cores
+	cfg.MeshWidth = o.MeshWidth
+	if cfg.MemControllers > o.Cores {
+		cfg.MemControllers = o.Cores
+	}
+	return cfg
+}
+
+// spec returns the workload build spec for this Options.
+func (o Options) spec() workloads.Spec {
+	return workloads.Spec{Cores: o.Cores, Scale: o.Scale, Seed: o.Seed}
+}
+
+// job is one simulation: a benchmark under a configuration variant.
+type job struct {
+	bench   string
+	variant string
+	cfg     sim.Config
+}
+
+// outcome pairs a job with its result.
+type outcome struct {
+	job job
+	res *sim.Result
+	err error
+}
+
+// runJobs executes all jobs with bounded parallelism and returns outcomes
+// keyed by (bench, variant). The first simulation error aborts the batch.
+func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) {
+	results := make(chan outcome, len(jobs))
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := o.simulate(j)
+			results <- outcome{job: j, res: res, err: err}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	out := make(map[string]map[string]*sim.Result, len(o.Benchmarks))
+	for oc := range results {
+		if oc.err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", oc.job.bench, oc.job.variant, oc.err)
+		}
+		m := out[oc.job.bench]
+		if m == nil {
+			m = make(map[string]*sim.Result)
+			out[oc.job.bench] = m
+		}
+		m[oc.job.variant] = oc.res
+	}
+	return out, nil
+}
+
+// simulate runs one benchmark under one configuration.
+func (o Options) simulate(j job) (*sim.Result, error) {
+	w, ok := workloads.ByName(j.bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", j.bench)
+	}
+	s, err := sim.New(j.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(w.Streams(o.spec()))
+}
+
+// labelOf returns the paper's figure label for a benchmark name.
+func labelOf(name string) string {
+	if w, ok := workloads.ByName(name); ok {
+		return w.Label
+	}
+	return name
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lacc/internal/sim"
+)
+
+// testOptions is a fast configuration: 16 cores, reduced problem sizes, a
+// protocol-sensitive benchmark subset.
+func testOptions(benches ...string) Options {
+	if len(benches) == 0 {
+		benches = []string{"streamcluster", "blackscholes", "matmul"}
+	}
+	return Options{Cores: 16, MeshWidth: 4, Scale: 0.15, Seed: 1, Benchmarks: benches}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Cores != 64 || o.MeshWidth != 8 {
+		t.Fatalf("default geometry = %d/%d, want 64/8", o.Cores, o.MeshWidth)
+	}
+	if o.Scale != 1 || o.Parallelism <= 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if len(o.Benchmarks) != 21 {
+		t.Fatalf("default benchmark set has %d entries, want 21", len(o.Benchmarks))
+	}
+	o2 := Options{Cores: 12}.normalize()
+	if o2.MeshWidth != 4 {
+		t.Fatalf("12 cores normalized to width %d, want 4", o2.MeshWidth)
+	}
+}
+
+func TestRunJobsReportsUnknownBenchmark(t *testing.T) {
+	o := testOptions("no-such-bench").normalize()
+	_, err := o.runJobs([]job{{bench: "no-such-bench", variant: "x", cfg: o.baseConfig()}})
+	if err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("err = %v, want unknown benchmark", err)
+	}
+}
+
+func TestPCTSweepShape(t *testing.T) {
+	sw, err := RunPCTSweep(testOptions(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Results) != 3 {
+		t.Fatalf("sweep covered %d benchmarks, want 3", len(sw.Results))
+	}
+	for bench, byPCT := range sw.Results {
+		for pct, r := range byPCT {
+			if r == nil || r.DataAccesses == 0 {
+				t.Fatalf("%s/pct%d: empty result", bench, pct)
+			}
+		}
+		// The protocol-friendly subset must improve at PCT 4.
+		base := byPCT[1].Energy.Total()
+		adapt := byPCT[4].Energy.Total()
+		if adapt >= base {
+			t.Errorf("%s: energy at PCT 4 (%.0f) >= PCT 1 (%.0f)", bench, adapt, base)
+		}
+	}
+	var sb strings.Builder
+	if err := sw.RenderFig8(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "AVERAGE") {
+		t.Fatal("Figure 8 output missing AVERAGE rows")
+	}
+	sb.Reset()
+	if err := sw.RenderFig9(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "L2-wait") {
+		t.Fatal("Figure 9 output missing breakdown columns")
+	}
+	sb.Reset()
+	if err := sw.RenderFig10(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "word") {
+		t.Fatal("Figure 10 output missing word-miss column")
+	}
+}
+
+func TestFig11SelectsMidRangePCT(t *testing.T) {
+	sw, err := RunPCTSweep(testOptions(), []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sw.Fig11()
+	if len(f.Points) != 5 {
+		t.Fatalf("%d points, want 5", len(f.Points))
+	}
+	// Normalization sanity: PCT 1 is the reference.
+	if f.Points[0].PCT != 1 || math.Abs(f.Points[0].Completion-1) > 1e-9 || math.Abs(f.Points[0].Energy-1) > 1e-9 {
+		t.Fatalf("baseline point not normalized: %+v", f.Points[0])
+	}
+	// The sweet spot must be an interior PCT (the paper picks 4): not the
+	// baseline, and better than the baseline on both metrics.
+	if f.BestPCT == 1 {
+		t.Fatal("best PCT is the baseline; adaptation never helped")
+	}
+	for _, p := range f.Points {
+		if p.PCT == f.BestPCT {
+			if p.Completion >= 1 || p.Energy >= 1 {
+				t.Fatalf("best PCT %d does not beat baseline: %+v", f.BestPCT, p)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "selected static PCT") {
+		t.Fatal("Figure 11 output missing the PCT selection line")
+	}
+}
+
+func TestFig1And2Histograms(t *testing.T) {
+	f, err := Fig1And2(testOptions("streamcluster", "blackscholes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evict := f.Eviction["blackscholes"]
+	if evict.Total() == 0 {
+		t.Fatal("blackscholes recorded no evictions at baseline")
+	}
+	// Single-use streaming: evicted lines concentrate in the low buckets.
+	p := evict.Percent()
+	if p[0]+p[1] < 50 {
+		t.Errorf("blackscholes low-utilization evictions = %.1f%%, want >= 50%%", p[0]+p[1])
+	}
+	inval := f.Invalidation["streamcluster"]
+	if inval.Total() == 0 {
+		t.Fatal("streamcluster recorded no invalidations at baseline")
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 1") || !strings.Contains(sb.String(), "Figure 2") {
+		t.Fatal("render missing figure titles")
+	}
+}
+
+func TestFig12VariantsCloseToTimestamp(t *testing.T) {
+	f, err := Fig12(testOptions("streamcluster", "matmul"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Variants) != len(Fig12Variants) {
+		t.Fatalf("%d variants, want %d", len(f.Variants), len(Fig12Variants))
+	}
+	if f.Completion["Timestamp"] != 1 || f.Energy["Timestamp"] != 1 {
+		t.Fatalf("Timestamp reference not 1.0: %+v", f)
+	}
+	// The RAT approximation should stay within a modest band of the exact
+	// Timestamp scheme (the paper's Figure 12 spans roughly 0.98-1.13).
+	for _, v := range f.Variants {
+		if f.Completion[v] < 0.7 || f.Completion[v] > 1.4 {
+			t.Errorf("%s completion ratio %.3f outside sanity band", v, f.Completion[v])
+		}
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "L-2,T-16") {
+		t.Fatal("render missing variant labels")
+	}
+}
+
+func TestFig13LimitedTracksComplete(t *testing.T) {
+	f, err := Fig13(testOptions("streamcluster", "blackscholes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := Fig13Ks(16)
+	if len(f.Ks) != len(ks) {
+		t.Fatalf("ks = %v, want %v", f.Ks, ks)
+	}
+	for _, bench := range f.Benches {
+		if v := f.Completion[bench][16]; math.Abs(v-1) > 1e-9 {
+			t.Fatalf("%s: Complete classifier not the reference (%.3f)", bench, v)
+		}
+		// Limited3 close to Complete (paper: within 3%; allow slack at the
+		// reduced test scale).
+		if v := f.Completion[bench][3]; v < 0.8 || v > 1.25 {
+			t.Errorf("%s: Limited3 completion ratio %.3f far from Complete", bench, v)
+		}
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "k=3") {
+		t.Fatal("render missing k columns")
+	}
+}
+
+func TestFig14OneWayIsWorse(t *testing.T) {
+	f, err := Fig14(testOptions("streamcluster", "dijkstra-ss", "blackscholes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GeomeanTime < 1 {
+		t.Errorf("Adapt1-way geomean completion ratio %.3f < 1; two-way should win", f.GeomeanTime)
+	}
+	if f.GeomeanEnergy < 0.95 {
+		t.Errorf("Adapt1-way geomean energy ratio %.3f unexpectedly low", f.GeomeanEnergy)
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "GEOMEAN") {
+		t.Fatal("render missing GEOMEAN row")
+	}
+}
+
+func TestAckwiseComparisonNearFullMap(t *testing.T) {
+	a, err := AckwiseComparison(testOptions("dijkstra-ss", "radix"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completion[16] != 1 {
+		t.Fatalf("full-map reference = %.3f, want 1", a.Completion[16])
+	}
+	if v := a.Completion[4]; v < 0.9 || v > 1.1 {
+		t.Errorf("ACKwise4 completion ratio %.3f, paper reports ~1%% difference", v)
+	}
+	var sb strings.Builder
+	if err := a.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "broadcast-invals") {
+		t.Fatal("render missing broadcast column")
+	}
+}
+
+func TestStorageMatchesPaperArithmetic(t *testing.T) {
+	r := Storage(sim.Default())
+	if r.Limited3Bits != 36 {
+		t.Errorf("Limited3 bits/entry = %d, paper: 36", r.Limited3Bits)
+	}
+	if r.CompleteBits != 384 {
+		t.Errorf("Complete bits/entry = %d, paper: 384", r.CompleteBits)
+	}
+	if r.AckwiseBits != 24 {
+		t.Errorf("ACKwise4 bits/entry = %d, paper: 24", r.AckwiseBits)
+	}
+	if r.FullMapBits != 64 {
+		t.Errorf("full-map bits/entry = %d, paper: 64", r.FullMapBits)
+	}
+	if r.Limited3KB != 18 {
+		t.Errorf("Limited3 storage = %.2f KB/core, paper: 18 KB", r.Limited3KB)
+	}
+	if r.CompleteKB != 192 {
+		t.Errorf("Complete storage = %.2f KB/core, paper: 192 KB", r.CompleteKB)
+	}
+	if r.AckwiseKB != 12 || r.FullMapKB != 32 {
+		t.Errorf("directory storage = %.1f/%.1f KB, paper: 12/32 KB", r.AckwiseKB, r.FullMapKB)
+	}
+	if math.Abs(r.Limited3OverheadPct-5.7) > 0.2 {
+		t.Errorf("Limited3 overhead = %.2f%%, paper: 5.7%%", r.Limited3OverheadPct)
+	}
+	if math.Abs(r.CompleteOverheadPct-60) > 2 {
+		t.Errorf("Complete overhead = %.2f%%, paper: 60%%", r.CompleteOverheadPct)
+	}
+	if !r.LimitedBeatsFullMap {
+		t.Error("ACKwise4+Limited3 should use less storage than full-map")
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "paper: 5.7%") {
+		t.Fatal("render missing paper reference")
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable1(sim.Default(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"64 @ 1 GHz", "ACKwise4", "PCT = 4", "Limited3"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := RenderTable2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SPLASH-2", "PARSEC", "streamcluster", "1M Integers"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestBaselineSingleRun(t *testing.T) {
+	o := testOptions("tsp")
+	cfg := o.normalize().baseConfig()
+	res, err := Baseline(o, "tsp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataAccesses == 0 {
+		t.Fatal("empty single run")
+	}
+}
+
+func TestVictimReplicationComparison(t *testing.T) {
+	r, err := VictimReplication(testOptions("matmul", "streamcluster"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VR replicates usefully on matmul's shared column re-reads, but the
+	// adaptive protocol should beat it (the paper's §2.1 argument).
+	if r.AdaptEnergy >= 1 {
+		t.Errorf("adaptive energy ratio %.3f did not improve on baseline", r.AdaptEnergy)
+	}
+	if r.AdaptEnergy >= r.VREnergy {
+		t.Errorf("adaptive energy (%.3f) not below VR (%.3f)", r.AdaptEnergy, r.VREnergy)
+	}
+	if r.ReplicaHitRate <= 0 {
+		t.Error("VR never hit a replica")
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "victim replication") {
+		t.Fatal("render missing VR row")
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+// Shape tests: each test pins a behaviour the paper's evaluation depends
+// on, at a reduced machine size so the suite stays fast. These are the
+// regression harness for the workload kernels — if a kernel edit destroys
+// its locality signature, the corresponding figure breaks here first.
+
+import (
+	"testing"
+
+	"lacc/internal/sim"
+	"lacc/internal/stats"
+	"lacc/internal/workloads"
+)
+
+// shapeRun simulates one benchmark at one PCT on the reduced machine.
+func shapeRun(t *testing.T, bench string, pct int) *sim.Result {
+	t.Helper()
+	cfg := sim.Default()
+	cfg.Cores = 16
+	cfg.MeshWidth = 4
+	cfg.MemControllers = 2
+	cfg.Protocol.PCT = pct
+	if cfg.Protocol.RATMax < pct {
+		cfg.Protocol.RATMax = pct
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.MustByName(bench)
+	res, err := s.Run(w.Streams(workloads.Spec{Cores: 16, Scale: 0.25, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWaterSpAndSusanAreLowMiss pins the paper's low-miss group: water-sp
+// and susan run at under 1% L1-D miss rate and their energy is
+// L1-dominated (the paper reports ~0.2% and ~95% L1 energy; our scaled
+// kernels and constant-based energy model land near 0.7% and ~75%). These
+// two run at full problem scale — at reduced scale the cold misses have
+// not yet amortized.
+func TestWaterSpAndSusanAreLowMiss(t *testing.T) {
+	cfg := sim.Default()
+	cfg.Cores = 16
+	cfg.MeshWidth = 4
+	cfg.MemControllers = 2
+	for _, bench := range []string{"water-sp", "susan"} {
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := workloads.MustByName(bench)
+		res, err := s.Run(w.Streams(workloads.Spec{Cores: 16, Scale: 1, Seed: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := res.L1DMissRate(); rate > 1.0 {
+			t.Errorf("%s: miss rate %.2f%%, want < 1%%", bench, rate)
+		}
+		l1 := res.Energy.L1I + res.Energy.L1D
+		if frac := l1 / res.Energy.Total(); frac < 0.70 {
+			t.Errorf("%s: L1 energy fraction %.2f, want >= 0.70", bench, frac)
+		}
+	}
+}
+
+// TestCannealAndConcompAreHighMiss pins the other end of Figure 10: the
+// graph/annealing benchmarks miss heavily under the baseline.
+func TestCannealAndConcompAreHighMiss(t *testing.T) {
+	for _, bench := range []string{"canneal", "concomp"} {
+		res := shapeRun(t, bench, 1)
+		if rate := res.L1DMissRate(); rate < 10 {
+			t.Errorf("%s: miss rate %.2f%%, want >= 10%% (low-locality benchmark)", bench, rate)
+		}
+	}
+}
+
+// TestMatmulMissRateDropsAtPCT2 pins the Figure 10 matmul observation: the
+// single-use B-column lines stop polluting the L1 once they are demoted,
+// so the overall miss rate falls substantially from PCT 1 to PCT 2.
+func TestMatmulMissRateDropsAtPCT2(t *testing.T) {
+	base := shapeRun(t, "matmul", 1)
+	adapt := shapeRun(t, "matmul", 2)
+	if adapt.L1DMissRate() > 0.8*base.L1DMissRate() {
+		t.Errorf("matmul miss rate %.2f%% -> %.2f%%: expected >= 20%% drop",
+			base.L1DMissRate(), adapt.L1DMissRate())
+	}
+	if adapt.L1D.Misses[stats.MissWord] == 0 {
+		t.Error("matmul at PCT 2 produced no word misses")
+	}
+}
+
+// TestConcompConvertsCapacityToWord pins §5.1.2's concomp observation:
+// capacity misses become an almost equal number of word misses (total miss
+// rate roughly unchanged) yet completion improves.
+func TestConcompConvertsCapacityToWord(t *testing.T) {
+	base := shapeRun(t, "concomp", 1)
+	adapt := shapeRun(t, "concomp", 4)
+	baseCap := base.L1D.Misses[stats.MissCapacity] + base.L1D.Misses[stats.MissCold]
+	adaptWord := adapt.L1D.Misses[stats.MissWord]
+	if adaptWord == 0 {
+		t.Fatal("no word misses at PCT 4")
+	}
+	// Word misses replace a large share of former capacity/cold misses.
+	if float64(adaptWord) < 0.3*float64(baseCap) {
+		t.Errorf("word misses %d vs baseline capacity+cold %d: conversion too weak",
+			adaptWord, baseCap)
+	}
+	if adapt.CompletionCycles >= base.CompletionCycles {
+		t.Errorf("concomp completion did not improve: %d -> %d",
+			base.CompletionCycles, adapt.CompletionCycles)
+	}
+}
+
+// TestStreamclusterInvalidationsCollapse pins the streamcluster mechanism:
+// at PCT 4 the utilization-1 ping-pong writes become remote word writes,
+// collapsing invalidation counts.
+func TestStreamclusterInvalidationsCollapse(t *testing.T) {
+	base := shapeRun(t, "streamcluster", 1)
+	adapt := shapeRun(t, "streamcluster", 4)
+	if adapt.Invalidations > base.Invalidations/2 {
+		t.Errorf("invalidations %d -> %d: expected at least a 2x reduction",
+			base.Invalidations, adapt.Invalidations)
+	}
+	if adapt.WordWrites == 0 {
+		t.Error("no remote word writes at PCT 4")
+	}
+}
+
+// TestBaselineInvalidationUtilizationIsLow pins Figure 1 for the sharing
+// benchmarks: most invalidated lines saw fewer than 4 accesses.
+func TestBaselineInvalidationUtilizationIsLow(t *testing.T) {
+	for _, bench := range []string{"streamcluster", "canneal", "dijkstra-ss"} {
+		res := shapeRun(t, bench, 1)
+		h := res.InvalidationUtil
+		if h.Total() == 0 {
+			t.Fatalf("%s: no invalidations recorded", bench)
+		}
+		p := h.Percent()
+		if low := p[0] + p[1]; low < 60 {
+			t.Errorf("%s: %.1f%% of invalidations below utilization 4, want >= 60%%", bench, low)
+		}
+	}
+}
+
+// TestBodytrackOneWayPenalty pins the Figure 14 mechanism: bodytrack's
+// refinement phase re-reads lines demoted during sampling, so the
+// promotion-free protocol pays a visible completion-time penalty.
+func TestBodytrackOneWayPenalty(t *testing.T) {
+	cfg := sim.Default()
+	cfg.Cores = 16
+	cfg.MeshWidth = 4
+	cfg.MemControllers = 2
+	spec := workloads.Spec{Cores: 16, Scale: 0.25, Seed: 1}
+	w := workloads.MustByName("bodytrack")
+
+	runWith := func(oneWay bool) *sim.Result {
+		c := cfg
+		c.Protocol.OneWay = oneWay
+		s, err := sim.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(w.Streams(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	two := runWith(false)
+	one := runWith(true)
+	ratio := float64(one.CompletionCycles) / float64(two.CompletionCycles)
+	if ratio < 1.1 {
+		t.Errorf("Adapt1-way/Adapt2-way completion ratio %.3f, want >= 1.1", ratio)
+	}
+	if two.Promotions == 0 {
+		t.Error("two-way protocol never promoted on bodytrack")
+	}
+}
+
+// TestEnergyOrderings pins the energy-model orderings the figures rely on
+// (link > router in aggregate, directory negligible) on a representative
+// benchmark.
+func TestEnergyOrderings(t *testing.T) {
+	res := shapeRun(t, "dijkstra-ss", 1)
+	e := res.Energy
+	if e.Link <= e.Router {
+		t.Errorf("link energy (%.0f) not above router energy (%.0f) at 11 nm", e.Link, e.Router)
+	}
+	if e.Directory > 0.05*e.Total() {
+		t.Errorf("directory energy fraction %.3f, want negligible (< 5%%)", e.Directory/e.Total())
+	}
+}
+
+// TestWordMissesCheaperThanSharingMisses verifies the premise of the whole
+// paper at the simulator level: on the sharing-heavy benchmark the average
+// memory latency per access falls when sharing misses become word misses.
+func TestWordMissesCheaperThanSharingMisses(t *testing.T) {
+	base := shapeRun(t, "dijkstra-ss", 1)
+	adapt := shapeRun(t, "dijkstra-ss", 4)
+	memLat := func(r *sim.Result) float64 {
+		return (r.Time.L1ToL2 + r.Time.L2Waiting + r.Time.L2Sharers + r.Time.OffChip) /
+			float64(r.DataAccesses)
+	}
+	if memLat(adapt) >= memLat(base) {
+		t.Errorf("average memory latency did not fall: %.2f -> %.2f cycles/access",
+			memLat(base), memLat(adapt))
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"io"
+
+	"lacc/internal/report"
+	"lacc/internal/stats"
+)
+
+// VictimReplicationResult compares the three cache management schemes the
+// paper's Section 2.1 discusses on the same R-NUCA + ACKwise substrate:
+//
+//   - the unmanaged baseline (every miss installs a private line, PCT 1),
+//   - Victim Replication (clean L1 victims replicated in the local L2
+//     slice, irrespective of reuse — the paper's critique),
+//   - the locality-aware adaptive protocol at PCT 4.
+type VictimReplicationResult struct {
+	Benches []string
+	// Geomean ratios normalized to the baseline; lower is better.
+	VRCompletion, VREnergy       float64
+	AdaptCompletion, AdaptEnergy float64
+	// ReplicaHitRate is VR's replica hits per L1-D miss (how often the
+	// replicated victims were actually reused).
+	ReplicaHitRate float64
+}
+
+// VictimReplication runs the three-way comparison.
+func VictimReplication(o Options) (*VictimReplicationResult, error) {
+	o = o.normalize()
+	var jobs []job
+	for _, bench := range o.Benchmarks {
+		base := o.baseConfig()
+		base.Protocol.PCT = 1
+
+		vr := o.baseConfig()
+		vr.Protocol.PCT = 1
+		vr.VictimReplication = true
+
+		adapt := o.baseConfig()
+		adapt.Protocol.PCT = 4
+
+		jobs = append(jobs,
+			job{bench: bench, variant: "base", cfg: base},
+			job{bench: bench, variant: "vr", cfg: vr},
+			job{bench: bench, variant: "adapt", cfg: adapt})
+	}
+	raw, err := o.runJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &VictimReplicationResult{Benches: o.Benchmarks}
+	var vrT, vrE, adT, adE []float64
+	var hits, misses uint64
+	for _, bench := range o.Benchmarks {
+		b := raw[bench]["base"]
+		v := raw[bench]["vr"]
+		a := raw[bench]["adapt"]
+		if bt := b.Time.Total(); bt > 0 {
+			vrT = append(vrT, v.Time.Total()/bt)
+			adT = append(adT, a.Time.Total()/bt)
+		}
+		if be := b.Energy.Total(); be > 0 {
+			vrE = append(vrE, v.Energy.Total()/be)
+			adE = append(adE, a.Energy.Total()/be)
+		}
+		hits += v.ReplicaHits
+		misses += v.L1D.TotalMisses()
+	}
+	out.VRCompletion = stats.GeoMean(vrT)
+	out.VREnergy = stats.GeoMean(vrE)
+	out.AdaptCompletion = stats.GeoMean(adT)
+	out.AdaptEnergy = stats.GeoMean(adE)
+	if misses > 0 {
+		out.ReplicaHitRate = float64(hits) / float64(misses)
+	}
+	return out, nil
+}
+
+// Render prints the three-way comparison.
+func (r *VictimReplicationResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		"Victim Replication vs locality-aware protocol (geomeans normalized to the unmanaged baseline)",
+		"scheme", "completion", "energy")
+	t.AddRowValues("baseline (PCT 1)", 1.0, 1.0)
+	t.AddRowValues("victim replication", r.VRCompletion, r.VREnergy)
+	t.AddRowValues("locality-aware (PCT 4)", r.AdaptCompletion, r.AdaptEnergy)
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "VR replica hits per L1-D miss: "+report.Cell(r.ReplicaHitRate)+"\n")
+	return err
+}

@@ -1,0 +1,207 @@
+// Package network models the electrical 2-D mesh interconnect of Table 1:
+// XY dimension-ordered routing, 2-cycle hop latency (1 router + 1 link),
+// 64-bit flits, and a contention model that considers only link contention
+// with infinite input buffers, exactly as the paper specifies.
+//
+// The mesh also supports broadcast: a message is replicated along an
+// XY tree (east/west along the source row, then north/south down every
+// column) so that all tiles are reached with a single injection, mirroring
+// the broadcast support ACKwise relies on (Section 3.1).
+package network
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+)
+
+// Direction indexes the four mesh output links of a router.
+type Direction uint8
+
+// Mesh link directions.
+const (
+	East Direction = iota
+	West
+	North
+	South
+	numDirections
+)
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width  int // tiles per row
+	Height int // tiles per column
+	// HopLatency is the per-hop head latency in cycles (Table 1: 2 = 1
+	// router + 1 link).
+	HopLatency int
+}
+
+// Mesh is a W×H mesh with per-directed-link next-free times. Mesh is not
+// safe for concurrent use; the simulator serializes transactions.
+type Mesh struct {
+	cfg      Config
+	linkFree []mem.Cycle // [tile*4+dir]
+
+	// RouterFlits and LinkFlits count flit traversals for the energy model
+	// (each flit is counted once per router and once per link it crosses).
+	RouterFlits uint64
+	LinkFlits   uint64
+	// Messages counts injected messages (unicast or broadcast).
+	Messages uint64
+}
+
+// New returns a mesh for the given configuration.
+func New(cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("network: bad mesh %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.HopLatency <= 0 {
+		cfg.HopLatency = 2
+	}
+	n := cfg.Width * cfg.Height
+	return &Mesh{cfg: cfg, linkFree: make([]mem.Cycle, n*int(numDirections))}
+}
+
+// Tiles returns the number of tiles.
+func (m *Mesh) Tiles() int { return m.cfg.Width * m.cfg.Height }
+
+// XY returns tile's mesh coordinates.
+func (m *Mesh) XY(tile int) (x, y int) { return tile % m.cfg.Width, tile / m.cfg.Width }
+
+// TileAt returns the tile id at (x, y).
+func (m *Mesh) TileAt(x, y int) int { return y*m.cfg.Width + x }
+
+// Hops returns the Manhattan distance between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Diameter returns the mesh diameter in hops.
+func (m *Mesh) Diameter() int { return m.cfg.Width + m.cfg.Height - 2 }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// step advances the message head across one link, applying link contention:
+// the head waits for the link to free, then occupies it for `flits` cycles.
+func (m *Mesh) step(tile int, d Direction, t mem.Cycle, flits int) (next int, out mem.Cycle) {
+	link := tile*int(numDirections) + int(d)
+	if m.linkFree[link] > t {
+		t = m.linkFree[link]
+	}
+	m.linkFree[link] = t + mem.Cycle(flits)
+	m.LinkFlits += uint64(flits)
+	m.RouterFlits += uint64(flits)
+	t += mem.Cycle(m.cfg.HopLatency)
+	x, y := m.XY(tile)
+	switch d {
+	case East:
+		x++
+	case West:
+		x--
+	case North:
+		y--
+	case South:
+		y++
+	}
+	return m.TileAt(x, y), t
+}
+
+// Unicast routes a message of `flits` flits from src to dst using XY
+// routing, departing at `depart`. It returns the cycle at which the full
+// message (tail flit) has arrived at dst. A message to the local tile takes
+// zero network time.
+func (m *Mesh) Unicast(src, dst int, flits int, depart mem.Cycle) mem.Cycle {
+	if flits <= 0 {
+		panic("network: message needs at least one flit")
+	}
+	if src == dst {
+		return depart
+	}
+	m.Messages++
+	t := depart
+	cur := src
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	for sx != dx { // X first
+		d := East
+		if dx < sx {
+			d = West
+		}
+		cur, t = m.step(cur, d, t, flits)
+		sx, _ = m.XY(cur)
+	}
+	for sy != dy { // then Y
+		d := South
+		if dy < sy {
+			d = North
+		}
+		cur, t = m.step(cur, d, t, flits)
+		_, sy = m.XY(cur)
+	}
+	// Tail flit arrives flits-1 cycles after the head.
+	return t + mem.Cycle(flits-1)
+}
+
+// Broadcast injects a message of `flits` flits at src and replicates it
+// along an XY tree so every tile receives exactly one copy. It returns the
+// arrival cycle (tail flit) at every tile; the source's own entry is the
+// departure time.
+func (m *Mesh) Broadcast(src int, flits int, depart mem.Cycle) []mem.Cycle {
+	if flits <= 0 {
+		panic("network: message needs at least one flit")
+	}
+	m.Messages++
+	arrive := make([]mem.Cycle, m.Tiles())
+	arrive[src] = depart
+
+	sx, _ := m.XY(src)
+	// Phase 1: spread along the source row.
+	rowTime := make([]mem.Cycle, m.cfg.Width) // head arrival per column
+	rowTime[sx] = depart
+	cur, t := src, depart
+	for x := sx; x < m.cfg.Width-1; x++ { // eastward
+		cur, t = m.step(cur, East, t, flits)
+		cx, _ := m.XY(cur)
+		rowTime[cx] = t
+	}
+	cur, t = src, depart
+	for x := sx; x > 0; x-- { // westward
+		cur, t = m.step(cur, West, t, flits)
+		cx, _ := m.XY(cur)
+		rowTime[cx] = t
+	}
+	// Phase 2: from every tile of the source row, spread down each column.
+	_, sy := m.XY(src)
+	for x := 0; x < m.cfg.Width; x++ {
+		base := m.TileAt(x, sy)
+		arrive[base] = rowTime[x] + mem.Cycle(flits-1)
+		cur, t = base, rowTime[x]
+		for y := sy; y < m.cfg.Height-1; y++ { // southward
+			cur, t = m.step(cur, South, t, flits)
+			arrive[cur] = t + mem.Cycle(flits-1)
+		}
+		cur, t = base, rowTime[x]
+		for y := sy; y > 0; y-- { // northward
+			cur, t = m.step(cur, North, t, flits)
+			arrive[cur] = t + mem.Cycle(flits-1)
+		}
+	}
+	arrive[src] = depart
+	return arrive
+}
+
+// UncontendedLatency returns the latency of a flits-long message over h hops
+// with no contention; exposed for analytical checks and lock modelling.
+func (m *Mesh) UncontendedLatency(h, flits int) mem.Cycle {
+	if h == 0 {
+		return 0
+	}
+	return mem.Cycle(h*m.cfg.HopLatency + flits - 1)
+}

@@ -1,0 +1,138 @@
+// Package report renders experiment results as aligned text tables or CSV.
+// It is the output layer shared by the lacc-bench tool and the examples.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with an optional title. Cells
+// are strings; use the Add* helpers for formatted numbers.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of raw cells. Short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell formats a value for a table cell: floats get fixed precision,
+// everything else uses the default format.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.3f", x)
+	case float32:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// AddRowValues appends a row, formatting each value with Cell.
+func (t *Table) AddRowValues(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = Cell(v)
+	}
+	t.AddRow(cells...)
+}
+
+// widths returns the rendered width of each column.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Write renders the table as aligned text: first column left-aligned,
+// remaining columns right-aligned (the usual layout for label + numbers).
+func (t *Table) Write(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string (convenience for tests and logs).
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Write(&sb)
+	return sb.String()
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quoting cells that need
+// it). The title is omitted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

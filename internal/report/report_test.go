@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRowValues("a", 1.5)
+	tb.AddRowValues("longer-name", 10)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4+1 { // title + header + rule + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Fatalf("float not fixed-precision:\n%s", out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row padded to %d cells, want 3", got)
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{1.25, "1.250"},
+		{float32(2), "2.000"},
+		{7, "7"},
+		{"s", "s"},
+		{uint64(9), "9"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSVQuotes(t *testing.T) {
+	tb := NewTable("ignored", "h1", "h2")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "ignored") {
+		t.Fatal("CSV contains the title")
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "h1,h2\n") {
+		t.Fatalf("header row wrong: %s", out)
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"lacc/internal/cache"
+	"lacc/internal/coherence"
+)
+
+// Audit verifies the structural invariants of the final machine state and
+// returns the first violation found. It runs automatically at the end of
+// every simulation when CheckValues is enabled, complementing the golden
+// store's data checks with directory/cache cross-validation:
+//
+//   - every directory entry's home L2 slice still holds the line
+//     (the directory is integrated with the L2 tags),
+//   - an Uncached entry has no private copies anywhere,
+//   - a Shared entry's exact sharer count equals the number of tiles
+//     holding the line (L1 copy or, under victim replication, a replica),
+//     and every identified sharer actually holds it,
+//   - an Exclusive/Modified entry has exactly one copy, held by the
+//     registered owner (possibly as a clean replica under VR),
+//   - inclusivity: every valid L1-D line has a directory entry at its
+//     recorded home.
+func (s *Simulator) Audit() error {
+	// Directory-side checks.
+	for home := range s.tiles {
+		ht := &s.tiles[home]
+		for la, entry := range ht.dir {
+			if ht.l2.Probe(la) == nil {
+				return fmt.Errorf("sim: audit: directory entry %#x at tile %d without L2 line", la, home)
+			}
+			holders := 0
+			for id := range s.tiles {
+				if s.tileHasCopy(id, la) {
+					holders++
+				}
+			}
+			switch entry.state {
+			case coherence.Uncached:
+				if holders != 0 {
+					return fmt.Errorf("sim: audit: uncached line %#x has %d copies", la, holders)
+				}
+			case coherence.SharedState:
+				if holders != entry.sharers.Count() {
+					return fmt.Errorf("sim: audit: line %#x tracks %d sharers, found %d copies",
+						la, entry.sharers.Count(), holders)
+				}
+				for _, id := range entry.sharers.Identified() {
+					if !s.tileHasCopy(int(id), la) {
+						return fmt.Errorf("sim: audit: line %#x lists sharer %d without a copy", la, id)
+					}
+				}
+			case coherence.ExclusiveState, coherence.ModifiedState:
+				if holders != 1 {
+					return fmt.Errorf("sim: audit: owned line %#x has %d copies", la, holders)
+				}
+				if !s.tileHasCopy(int(entry.owner), la) {
+					return fmt.Errorf("sim: audit: line %#x owner %d holds no copy", la, entry.owner)
+				}
+			default:
+				return fmt.Errorf("sim: audit: line %#x in unknown state %v", la, entry.state)
+			}
+		}
+	}
+	// Cache-side inclusivity checks.
+	for id := range s.tiles {
+		if err := s.auditL1(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditL1 checks every valid L1-D line against its home directory.
+func (s *Simulator) auditL1(id int) error {
+	var fail error
+	s.tiles[id].l1d.ForEach(func(l *cache.Line) {
+		if fail != nil {
+			return
+		}
+		entry := s.tiles[l.Home].dir[l.Addr]
+		if entry == nil {
+			fail = fmt.Errorf("sim: audit: L1 line %#x at core %d has no directory entry at home %d",
+				l.Addr, id, l.Home)
+			return
+		}
+		switch l.State {
+		case lineS:
+			if entry.state != coherence.SharedState &&
+				entry.state != coherence.ExclusiveState { // clean-E reinstall under VR
+				fail = fmt.Errorf("sim: audit: L1 S copy of %#x at core %d but home state %v",
+					l.Addr, id, entry.state)
+			}
+		case lineE, lineM:
+			if entry.state != coherence.ExclusiveState && entry.state != coherence.ModifiedState {
+				fail = fmt.Errorf("sim: audit: L1 %d copy of %#x at core %d but home state %v",
+					l.State, l.Addr, id, entry.state)
+			} else if int(entry.owner) != id {
+				fail = fmt.Errorf("sim: audit: L1 owned copy of %#x at core %d but registered owner %d",
+					l.Addr, id, entry.owner)
+			}
+		}
+	})
+	return fail
+}

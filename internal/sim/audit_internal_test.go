@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"lacc/internal/coherence"
+	"lacc/internal/mem"
+	"lacc/internal/trace"
+)
+
+// runTiny executes a two-access trace on a 2-core machine and returns the
+// simulator for white-box inspection.
+func runTiny(t *testing.T) *Simulator {
+	t.Helper()
+	cfg := Default()
+	cfg.Cores = 2
+	cfg.MeshWidth = 2
+	cfg.MemControllers = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base mem.Addr = 1 << 22
+	_, err = s.Run([]trace.Stream{
+		trace.FromSlice([]mem.Access{{Kind: mem.Read, Addr: base}}),
+		trace.FromSlice([]mem.Access{{Kind: mem.Read, Addr: base + mem.PageBytes}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// corrupt locates the first directory entry and applies fn to it.
+func corrupt(t *testing.T, s *Simulator, fn func(la mem.Addr, e *dirEntry)) {
+	t.Helper()
+	for i := range s.tiles {
+		for la, e := range s.tiles[i].dir {
+			fn(la, e)
+			return
+		}
+	}
+	t.Fatal("no directory entries to corrupt")
+}
+
+func TestAuditDetectsPhantomSharer(t *testing.T) {
+	s := runTiny(t)
+	if err := s.Audit(); err != nil {
+		t.Fatalf("clean state failed audit: %v", err)
+	}
+	corrupt(t, s, func(la mem.Addr, e *dirEntry) {
+		// Claim a sharer that holds no copy.
+		e.state = coherence.SharedState
+		e.owner = -1
+		e.sharers.Clear()
+		e.sharers.Add(0)
+		e.sharers.Add(1)
+	})
+	err := s.Audit()
+	if err == nil || !strings.Contains(err.Error(), "audit") {
+		t.Fatalf("phantom sharer not detected: %v", err)
+	}
+}
+
+func TestAuditDetectsWrongOwner(t *testing.T) {
+	s := runTiny(t)
+	corrupt(t, s, func(la mem.Addr, e *dirEntry) {
+		if e.state == coherence.ExclusiveState {
+			e.owner = 1 - e.owner // flip to the non-holding core
+		} else {
+			e.state = coherence.ModifiedState
+			e.owner = 1
+		}
+	})
+	if err := s.Audit(); err == nil {
+		t.Fatal("wrong owner not detected")
+	}
+}
+
+func TestAuditDetectsMissingL2Line(t *testing.T) {
+	s := runTiny(t)
+	var victim mem.Addr
+	var tile int
+	for i := range s.tiles {
+		for la := range s.tiles[i].dir {
+			victim, tile = la, i
+		}
+	}
+	s.tiles[tile].l2.Invalidate(victim)
+	err := s.Audit()
+	if err == nil || !strings.Contains(err.Error(), "without L2 line") {
+		t.Fatalf("missing L2 line not detected: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package sim_test
+
+import (
+	"testing"
+
+	"lacc/internal/mem"
+)
+
+// TestFlitLayoutArithmetic pins the Section 3.6 message-size argument: an
+// invalidation acknowledgement carrying the private utilization counter
+// fits one 64-bit flit, so the locality-aware protocol adds no flits to
+// invalidation traffic.
+func TestFlitLayoutArithmetic(t *testing.T) {
+	const (
+		flitBits     = 64
+		physAddrBits = 48                           // Table 1
+		lineAddrBits = physAddrBits - mem.LineShift // 42: line-aligned address
+		coreIDBits   = 6                            // 64 cores
+		srcDstBits   = 2 * coreIDBits               // 12: sender + receiver
+		utilBits     = 2                            // PCT 4 fits in 2 bits
+	)
+	used := lineAddrBits + srcDstBits + utilBits
+	msgTypeBits := flitBits - used
+	if msgTypeBits != 8 {
+		t.Fatalf("message type field = %d bits, paper says 8 remain", msgTypeBits)
+	}
+	if used+msgTypeBits != flitBits {
+		t.Fatalf("header does not fill the flit: %d bits", used+msgTypeBits)
+	}
+}
+
+// TestMessageFlitCounts pins the word/line message sizes the simulator
+// charges (Section 3.6: word = 1 flit payload, line = 8 flits payload).
+func TestMessageFlitCounts(t *testing.T) {
+	if mem.WordBytes*8 != 64 {
+		t.Fatalf("word is %d bits, want 64 (one flit)", mem.WordBytes*8)
+	}
+	if mem.LineBytes/mem.WordBytes != 8 {
+		t.Fatalf("line is %d flits, want 8", mem.LineBytes/mem.WordBytes)
+	}
+	if mem.WordsPerLine != 8 {
+		t.Fatalf("WordsPerLine = %d", mem.WordsPerLine)
+	}
+}

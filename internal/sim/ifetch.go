@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+)
+
+// maxProbesPerOp bounds instruction-cache work per trace operation; long
+// compute gaps re-execute loop bodies whose lines are already resident, so
+// capping probes loses no fidelity worth its cost.
+const maxProbesPerOp = 8
+
+// instrFetch models the instruction stream for one trace operation: it
+// charges L1-I fetch energy for the executed instructions (FetchPerOp per
+// operation plus one per compute-gap cycle) and walks the core's program
+// counter over the workload's code footprint, simulating an L1-I probe per
+// consumed instruction line. Instruction lines live in the R-NUCA
+// per-cluster replica slices; fetch hits are overlapped by the in-order
+// pipeline and cost no time, misses stall the core.
+func (s *Simulator) instrFetch(c *coreState, gap uint32) {
+	instrs := s.cfg.FetchPerOp + float64(gap)
+	c.energyAcc += instrs
+	whole := uint64(c.energyAcc)
+	s.meter.L1IAccesses += whole
+	c.energyAcc -= float64(whole)
+
+	// One instruction line holds 8 instructions (64 B / 8 B encoding).
+	c.fetchAcc += instrs / 8
+	probes := 0
+	for c.fetchAcc >= 1 && probes < maxProbesPerOp {
+		c.fetchAcc--
+		probes++
+		c.pc++
+		if c.pc >= s.cfg.CodeLines {
+			c.pc = 0
+		}
+		addr := codeBase + mem.Addr(c.pc)*mem.LineBytes
+		l1i := s.tiles[c.id].l1i
+		if line := l1i.Probe(addr); line != nil {
+			c.l1iHits++
+			l1i.Touch(line, c.now)
+			continue
+		}
+		c.l1iMisses++
+		s.instrMiss(c, addr)
+	}
+	if c.fetchAcc > float64(maxProbesPerOp) {
+		c.fetchAcc = float64(maxProbesPerOp)
+	}
+}
+
+// instrMiss fetches an instruction line from the requester's cluster
+// replica slice (R-NUCA rotational interleaving), going to DRAM when the
+// replica slice misses. Instructions are read-only: no directory entry or
+// classifier state is maintained for them.
+func (s *Simulator) instrMiss(c *coreState, addr mem.Addr) {
+	la := mem.LineOf(addr)
+	t0 := c.now
+	home := s.nuca.InstrHome(la, c.id)
+
+	t := t0 + mem.Cycle(s.cfg.L1ILatency)
+	var l1l2, offchip mem.Cycle
+	l1l2 = t - t0
+
+	tArr := s.mesh.Unicast(c.id, home, 1, t)
+	l1l2 += tArr - t
+	t = tArr
+
+	ht := &s.tiles[home]
+	l2line := ht.l2.Probe(la)
+	if l2line == nil {
+		var fillDone mem.Cycle
+		l2line, fillDone = s.l2Fill(home, la, t)
+		offchip += fillDone - t
+		t = fillDone
+		// No directory entry: replicas are read-only.
+	}
+	t += mem.Cycle(s.cfg.L2Latency)
+	l1l2 += mem.Cycle(s.cfg.L2Latency)
+	ht.l2.Touch(l2line, t)
+	s.meter.L2LineReads++
+
+	tEnd := s.mesh.Unicast(home, c.id, 9, t)
+	l1l2 += tEnd - t
+
+	l1i := s.tiles[c.id].l1i
+	line, _, _ := l1i.Insert(la) // instruction victims are clean; drop silently
+	line.State = lineS
+	line.Home = int16(home)
+	l1i.Touch(line, tEnd)
+
+	c.bd.L1ToL2 += float64(l1l2)
+	c.bd.OffChip += float64(offchip)
+	if s.cfg.CheckValues {
+		if sum := l1l2 + offchip; sum != tEnd-t0 {
+			panic(fmt.Sprintf("sim: ifetch components %d != total %d", sum, tEnd-t0))
+		}
+	}
+	c.now = tEnd
+}

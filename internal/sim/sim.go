@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"lacc/internal/cache"
+	"lacc/internal/coherence"
+	"lacc/internal/core"
+	"lacc/internal/dram"
+	"lacc/internal/energy"
+	"lacc/internal/mem"
+	"lacc/internal/network"
+	"lacc/internal/nuca"
+	"lacc/internal/stats"
+	"lacc/internal/trace"
+)
+
+// L1 line coherence states (cache.Line.State).
+const (
+	lineS uint8 = iota + 1
+	lineE
+	lineM
+	// lineReplica marks a victim-replication replica in a local L2 slice
+	// (Section 2.1's Victim Replication baseline, enabled by
+	// Config.VictimReplication). Replicas are read-only copies whose tile
+	// remains a registered sharer at the line's home directory.
+	lineReplica
+)
+
+// Per-(core, line) history used for the paper's miss-type classification
+// (Section 4.4). The zero value means the line was never seen.
+const (
+	hNever uint8 = iota
+	hCached
+	hEvicted
+	hInvalidated
+	hRemote
+)
+
+// codeBase places the synthetic instruction region far from any data the
+// workload allocators hand out.
+const codeBase mem.Addr = 1 << 40
+
+// dirEntry is a directory entry integrated with an L2 line: MESI state,
+// ACKwise sharer list and the locality classifier of the paper.
+type dirEntry struct {
+	state     coherence.State
+	sharers   coherence.SharerSet
+	owner     int16
+	busyUntil mem.Cycle
+	cls       core.Classifier
+}
+
+// tile is one core's slice of the machine.
+type tile struct {
+	l1i *cache.Cache
+	l1d *cache.Cache
+	l2  *cache.Cache
+	dir map[mem.Addr]*dirEntry
+}
+
+// coreState is one core's simulation context.
+type coreState struct {
+	id     int
+	now    mem.Cycle
+	stream trace.Stream
+	bd     stats.TimeBreakdown
+	l1d    stats.MissStats
+
+	l1iHits   uint64
+	l1iMisses uint64
+
+	history map[mem.Addr]uint8
+
+	done bool
+
+	// Synthetic instruction stream state.
+	pc        int
+	fetchAcc  float64 // pending instruction-line fetches
+	energyAcc float64 // pending fractional L1I energy events
+
+	// Synchronization state.
+	waitingBarrier bool
+	barrierArrive  mem.Cycle
+}
+
+type lockWaiter struct {
+	core    int
+	arrival mem.Cycle
+}
+
+type lockState struct {
+	held  bool
+	owner int
+	queue []lockWaiter
+}
+
+// Simulator executes per-core access streams against the modeled machine.
+// Construct with New; a Simulator runs one workload (use a fresh Simulator
+// per run).
+type Simulator struct {
+	cfg   Config
+	mesh  *network.Mesh
+	dram  *dram.Model
+	nuca  *nuca.Placement
+	tiles []tile
+	cores []coreState
+
+	golden  map[mem.Addr]uint64 // committed version per line
+	dramVer map[mem.Addr]uint64 // version resident in DRAM
+
+	locks     map[uint64]*lockState
+	barrierID mem.Addr
+	barrierN  int
+
+	meter     energy.Meter
+	invalHist stats.UtilizationHistogram
+	evictHist stats.UtilizationHistogram
+
+	promotions    uint64
+	demotions     uint64
+	wordReads     uint64
+	wordWrites    uint64
+	invalidations uint64
+	bcastInvals   uint64
+
+	replicaHits      uint64
+	replicaInserts   uint64
+	replicaEvictions uint64
+
+	runQ coreQueue
+}
+
+// New builds a simulator for cfg.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg: cfg,
+		mesh: network.New(network.Config{
+			Width:      cfg.MeshWidth,
+			Height:     cfg.Cores / cfg.MeshWidth,
+			HopLatency: cfg.HopLatency,
+		}),
+		nuca:    nuca.New(cfg.Cores, cfg.MeshWidth),
+		golden:  make(map[mem.Addr]uint64),
+		dramVer: make(map[mem.Addr]uint64),
+		locks:   make(map[uint64]*lockState),
+	}
+	s.dram = dram.New(dram.Config{
+		Controllers:   cfg.MemControllers,
+		LatencyCycles: cfg.DRAMLatencyCycles,
+		BytesPerCycle: cfg.DRAMBytesPerCycle,
+		Tiles:         dram.DefaultTiles(cfg.MemControllers, cfg.MeshWidth, cfg.Cores/cfg.MeshWidth),
+	})
+	s.tiles = make([]tile, cfg.Cores)
+	for i := range s.tiles {
+		s.tiles[i] = tile{
+			l1i: cache.New(cfg.L1ISizeKB*1024, cfg.L1IWays),
+			l1d: cache.New(cfg.L1DSizeKB*1024, cfg.L1DWays),
+			l2:  cache.New(cfg.L2SizeKB*1024, cfg.L2Ways),
+			dir: make(map[mem.Addr]*dirEntry, 1024),
+		}
+	}
+	return s, nil
+}
+
+// newDirEntry allocates a directory entry with a fresh classifier (all
+// cores initially private, Figure 4).
+func (s *Simulator) newDirEntry() *dirEntry {
+	return &dirEntry{
+		sharers: coherence.NewSharerSet(s.cfg.AckwisePointers),
+		owner:   -1,
+		cls:     core.NewClassifier(s.cfg.Cores, s.cfg.ClassifierK),
+	}
+}
+
+// Run executes one stream per core to completion and returns the aggregated
+// result. The streams are closed before returning.
+func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
+	if len(streams) != s.cfg.Cores {
+		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), s.cfg.Cores)
+	}
+	defer func() {
+		for _, st := range streams {
+			st.Close()
+		}
+	}()
+	s.cores = make([]coreState, s.cfg.Cores)
+	for i := range s.cores {
+		s.cores[i] = coreState{
+			id:      i,
+			stream:  streams[i],
+			history: make(map[mem.Addr]uint8, 4096),
+		}
+	}
+	s.runQ = coreQueue{sim: s}
+	for i := range s.cores {
+		heap.Push(&s.runQ, i)
+	}
+
+	for s.runQ.Len() > 0 {
+		id := heap.Pop(&s.runQ).(int)
+		c := &s.cores[id]
+		a, ok := c.stream.Next()
+		if !ok {
+			c.done = true
+			s.maybeReleaseBarrier()
+			continue
+		}
+		if a.Gap > 0 {
+			c.now += mem.Cycle(a.Gap)
+			c.bd.Compute += float64(a.Gap)
+		}
+		switch a.Kind {
+		case mem.Read, mem.Write:
+			s.instrFetch(c, a.Gap)
+			s.dataAccess(c, a.Kind, a.Addr)
+			heap.Push(&s.runQ, id)
+		case mem.Barrier:
+			s.barrierArrive(c, a.Addr)
+		case mem.Lock:
+			s.lockAcquire(c, uint64(a.Addr))
+		case mem.Unlock:
+			s.lockRelease(c, uint64(a.Addr))
+			heap.Push(&s.runQ, id)
+		default:
+			return nil, fmt.Errorf("sim: core %d emitted unknown op %v", id, a.Kind)
+		}
+	}
+	if err := s.checkQuiescence(); err != nil {
+		return nil, err
+	}
+	if s.cfg.CheckValues {
+		if err := s.Audit(); err != nil {
+			return nil, err
+		}
+	}
+	return s.collect(), nil
+}
+
+// checkQuiescence verifies every core terminated (catches workload bugs
+// such as unmatched barriers or leaked locks).
+func (s *Simulator) checkQuiescence() error {
+	for i := range s.cores {
+		if !s.cores[i].done {
+			return fmt.Errorf("sim: core %d deadlocked (barrier wait=%v)", i, s.cores[i].waitingBarrier)
+		}
+	}
+	for id, l := range s.locks {
+		if l.held || len(l.queue) > 0 {
+			return fmt.Errorf("sim: lock %d leaked (held=%v, %d waiters)", id, l.held, len(l.queue))
+		}
+	}
+	return nil
+}
+
+// barrierArrive parks a core at a barrier, releasing everyone when the last
+// active core arrives. All cores must agree on the barrier identifier.
+func (s *Simulator) barrierArrive(c *coreState, id mem.Addr) {
+	if s.barrierN == 0 {
+		s.barrierID = id
+	} else if s.barrierID != id {
+		panic(fmt.Sprintf("sim: barrier mismatch: core %d at %d, barrier %d in progress",
+			c.id, id, s.barrierID))
+	}
+	c.waitingBarrier = true
+	c.barrierArrive = c.now
+	s.barrierN++
+	s.maybeReleaseBarrier()
+}
+
+func (s *Simulator) activeCores() int {
+	n := 0
+	for i := range s.cores {
+		if !s.cores[i].done {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) maybeReleaseBarrier() {
+	if s.barrierN == 0 || s.barrierN < s.activeCores() {
+		return
+	}
+	var latest mem.Cycle
+	for i := range s.cores {
+		if s.cores[i].waitingBarrier && s.cores[i].barrierArrive > latest {
+			latest = s.cores[i].barrierArrive
+		}
+	}
+	release := latest + mem.Cycle(s.cfg.BarrierLatency)
+	for i := range s.cores {
+		c := &s.cores[i]
+		if !c.waitingBarrier {
+			continue
+		}
+		c.bd.Sync += float64(release - c.barrierArrive)
+		c.now = release
+		c.waitingBarrier = false
+		heap.Push(&s.runQ, i)
+	}
+	s.barrierN = 0
+}
+
+// lockAcquire grants a free lock immediately (charging the acquisition
+// round trip) or parks the core in the lock's FIFO queue.
+func (s *Simulator) lockAcquire(c *coreState, id uint64) {
+	l := s.locks[id]
+	if l == nil {
+		l = &lockState{}
+		s.locks[id] = l
+	}
+	if !l.held {
+		l.held = true
+		l.owner = c.id
+		lat := mem.Cycle(s.cfg.LockLatency)
+		c.bd.Sync += float64(lat)
+		c.now += lat
+		heap.Push(&s.runQ, c.id)
+		return
+	}
+	l.queue = append(l.queue, lockWaiter{core: c.id, arrival: c.now})
+}
+
+// lockRelease hands the lock to the next waiter (FIFO) or frees it.
+func (s *Simulator) lockRelease(c *coreState, id uint64) {
+	l := s.locks[id]
+	if l == nil || !l.held || l.owner != c.id {
+		panic(fmt.Sprintf("sim: core %d released lock %d it does not hold", c.id, id))
+	}
+	c.now++ // the releasing store
+	if len(l.queue) == 0 {
+		l.held = false
+		return
+	}
+	w := l.queue[0]
+	l.queue = l.queue[1:]
+	l.owner = w.core
+	grant := c.now
+	if w.arrival > grant {
+		grant = w.arrival
+	}
+	grant += mem.Cycle(s.cfg.LockLatency)
+	wc := &s.cores[w.core]
+	wc.bd.Sync += float64(grant - w.arrival)
+	wc.now = grant
+	heap.Push(&s.runQ, w.core)
+}
+
+// collect aggregates per-core statistics into a Result.
+func (s *Simulator) collect() *Result {
+	r := &Result{
+		Promotions:             s.promotions,
+		Demotions:              s.demotions,
+		WordReads:              s.wordReads,
+		WordWrites:             s.wordWrites,
+		Invalidations:          s.invalidations,
+		BroadcastInvalidations: s.bcastInvals,
+		InvalidationUtil:       s.invalHist,
+		EvictionUtil:           s.evictHist,
+		RouterFlits:            s.mesh.RouterFlits,
+		LinkFlits:              s.mesh.LinkFlits,
+		Messages:               s.mesh.Messages,
+		DRAMReads:              s.dram.Reads,
+		DRAMWrites:             s.dram.Writes,
+		DRAMQueueCycles:        s.dram.QueueCycles,
+		PrivatePages:           s.nuca.PrivatePages,
+		SharedPages:            s.nuca.SharedPages,
+		Reclassifications:      s.nuca.Reclassifications,
+		ReplicaHits:            s.replicaHits,
+		ReplicaInserts:         s.replicaInserts,
+		ReplicaEvictions:       s.replicaEvictions,
+	}
+	r.PerCore = make([]CoreStats, len(s.cores))
+	for i := range s.cores {
+		c := &s.cores[i]
+		if c.now > r.CompletionCycles {
+			r.CompletionCycles = c.now
+		}
+		r.Time.Add(c.bd)
+		r.L1D.Add(c.l1d)
+		r.L1IHits += c.l1iHits
+		r.L1IMisses += c.l1iMisses
+		r.PerCore[i] = CoreStats{
+			Finish:  c.now,
+			Time:    c.bd,
+			L1D:     c.l1d,
+			L1IHits: c.l1iHits, L1IMisses: c.l1iMisses,
+		}
+	}
+	r.DataAccesses = r.L1D.Accesses()
+	s.meter.RouterFlits = s.mesh.RouterFlits
+	s.meter.LinkFlits = s.mesh.LinkFlits
+	r.Meter = s.meter
+	r.Energy = s.meter.Breakdown(s.cfg.Energy)
+	return r
+}
+
+// goldenWrite commits a write to the golden store and returns the new
+// version.
+func (s *Simulator) goldenWrite(la mem.Addr) uint64 {
+	s.golden[la]++
+	return s.golden[la]
+}
+
+// checkVersion asserts a read observed the latest committed write.
+func (s *Simulator) checkVersion(ctx string, la mem.Addr, ver uint64) {
+	if want := s.golden[la]; ver != want {
+		panic(fmt.Sprintf("sim: coherence violation at %s: line %#x version %d, golden %d",
+			ctx, la, ver, want))
+	}
+}
+
+// coreQueue is a min-heap of runnable core ids ordered by local time with
+// core id as the deterministic tiebreak.
+type coreQueue struct {
+	sim *Simulator
+	ids []int
+}
+
+func (q *coreQueue) Len() int { return len(q.ids) }
+
+func (q *coreQueue) Less(i, j int) bool {
+	a, b := &q.sim.cores[q.ids[i]], &q.sim.cores[q.ids[j]]
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.id < b.id
+}
+
+func (q *coreQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
+
+func (q *coreQueue) Push(x any) { q.ids = append(q.ids, x.(int)) }
+
+func (q *coreQueue) Pop() any {
+	old := q.ids
+	n := len(old)
+	x := old[n-1]
+	q.ids = old[:n-1]
+	return x
+}

@@ -1,0 +1,84 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lacc/internal/mem"
+	"lacc/internal/sim"
+	"lacc/internal/trace"
+)
+
+// TestRandomTracesUpholdCoherence is a property-based stress test: random
+// multi-core read/write traces over a small shared footprint must complete
+// with the golden-store checker silent, under the adaptive protocol, the
+// Limited-1 classifier (the most error-prone configuration) and victim
+// replication all at once. The checker panics on any stale read, so
+// completion is the property.
+func TestRandomTracesUpholdCoherence(t *testing.T) {
+	const cores = 4
+	run := func(seed uint64, pct uint8, vr bool) bool {
+		cfg := sim.Default()
+		cfg.Cores = cores
+		cfg.MeshWidth = 2
+		cfg.MemControllers = 2
+		cfg.L1DSizeKB = 1 // tiny caches maximize evictions and conflicts
+		cfg.L1ISizeKB = 1
+		cfg.L2SizeKB = 8
+		cfg.ClassifierK = 1
+		cfg.Protocol.PCT = int(pct%8) + 1
+		cfg.VictimReplication = vr
+
+		// Deterministic pseudo-random traces over 64 shared lines across 4
+		// pages, with barriers aligning the cores occasionally.
+		state := seed
+		next := func() uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state >> 33
+		}
+		streams := make([]trace.Stream, cores)
+		for c := 0; c < cores; c++ {
+			var ops []mem.Access
+			for i := 0; i < 400; i++ {
+				r := next()
+				addr := base + mem.Addr(r%256)*64 // 256 lines over 4 pages
+				kind := mem.Read
+				if r%5 == 0 {
+					kind = mem.Write
+				}
+				ops = append(ops, mem.Access{Kind: kind, Addr: addr, Gap: uint32(r % 7)})
+				if i%100 == 99 {
+					ops = append(ops, mem.Access{Kind: mem.Barrier, Addr: mem.Addr(i / 100)})
+				}
+			}
+			streams[c] = trace.FromSlice(ops)
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := s.Run(streams)
+		if err != nil {
+			t.Fatalf("Run(seed=%d): %v", seed, err)
+		}
+		return res.DataAccesses == uint64(cores*400)
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultHelperEdgeCases(t *testing.T) {
+	var r sim.Result
+	if got := r.Imbalance(); got != 1 {
+		t.Fatalf("empty Imbalance = %v, want 1", got)
+	}
+	r.Time.Compute = 10
+	if got := r.PerCoreTime(0); got != r.Time {
+		t.Fatalf("PerCoreTime(0) = %+v, want unscaled", got)
+	}
+	r.PerCore = []sim.CoreStats{{Finish: 0}, {Finish: 0}}
+	if got := r.Imbalance(); got != 1 {
+		t.Fatalf("all-zero Imbalance = %v, want 1", got)
+	}
+}

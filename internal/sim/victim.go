@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+
+	"lacc/internal/cache"
+	"lacc/internal/coherence"
+	"lacc/internal/mem"
+	"lacc/internal/stats"
+)
+
+// Victim Replication (Zhang & Asanovic, ISCA 2005) is the hybrid LLC
+// baseline the paper discusses in Section 2.1: clean Shared-state L1
+// victims are replicated into the local L2 slice so a future miss can be
+// serviced without crossing the mesh. The replica's tile remains a
+// registered sharer at the line's home directory, so writes invalidate
+// replicas exactly like L1 copies and the golden-store checker verifies
+// freshness. The paper's critique — every victim is replicated,
+// irrespective of whether it will be reused — is observable here as local
+// L2 slice pressure and replica evictions.
+
+// isReplica approves only replica lines for displacement: replicas must
+// never evict home lines.
+func isReplica(l *cache.Line) bool { return l.State == lineReplica }
+
+// tryReplicate attempts to place a clean Shared L1 victim into the local
+// L2 slice. On success the home directory is left untouched (the tile is
+// still a sharer) and no message is sent. It reports whether the victim
+// was absorbed.
+func (s *Simulator) tryReplicate(c *coreState, victim cache.Line, t mem.Cycle) bool {
+	if victim.Dirty || (victim.State != lineS && victim.State != lineE) {
+		return false // only clean data is replicated
+	}
+	if int(victim.Home) == c.id {
+		return false // the local slice is the home: the line is already here
+	}
+	l2 := s.tiles[c.id].l2
+	line, old, evicted := l2.TryInsert(victim.Addr, isReplica)
+	if line == nil {
+		return false // set full of home lines: drop the victim normally
+	}
+	if evicted {
+		s.replicaEvictions++
+		s.notifyReplicaEviction(c.id, old, t)
+	}
+	line.State = lineReplica
+	line.Util = victim.Util
+	line.Version = victim.Version
+	line.Home = victim.Home
+	l2.Touch(line, t)
+	s.meter.L2LineWrites++
+	s.replicaInserts++
+	return true
+}
+
+// replicaRead services an L1 read miss from a local replica, if present:
+// the line moves back into the L1 (the replica way is freed) at local L2
+// cost, with no network traffic. It reports whether the miss was absorbed.
+func (s *Simulator) replicaRead(c *coreState, addr mem.Addr) bool {
+	la := mem.LineOf(addr)
+	l2 := s.tiles[c.id].l2
+	rl := l2.Probe(la)
+	if rl == nil || rl.State != lineReplica {
+		return false
+	}
+	replica, _ := l2.Invalidate(la)
+	s.replicaHits++
+	s.meter.L1DReads++
+	s.meter.L2LineReads++
+
+	t := c.now + mem.Cycle(s.cfg.L1DLatency) + mem.Cycle(s.cfg.L2Latency)
+	l1 := s.tiles[c.id].l1d
+	line, victim, evicted := l1.Insert(la)
+	if evicted {
+		s.l1Evict(c, victim, t)
+	}
+	s.meter.L1DWrites++ // line fill
+	line.State = lineS
+	line.Home = replica.Home
+	line.Version = replica.Version
+	line.Util = replica.Util + 1 // the replica continues the private residency
+	l1.Touch(line, t)
+
+	if s.cfg.CheckValues {
+		s.checkVersion("replica read", la, line.Version)
+	}
+	c.l1d.Record(stats.MissCapacity) // a miss the replica made cheap
+	c.bd.L1ToL2 += float64(t - c.now)
+	c.history[la] = hCached
+	c.now = t
+	return true
+}
+
+// dropOwnReplica invalidates the requester's local replica on a write miss
+// (the write request carries the drop to the home, costing no extra
+// message) and returns its frozen utilization counter.
+func (s *Simulator) dropOwnReplica(c *coreState, la mem.Addr) (util uint32, had bool) {
+	if !s.cfg.VictimReplication {
+		return 0, false
+	}
+	l2 := s.tiles[c.id].l2
+	rl := l2.Probe(la)
+	if rl == nil || rl.State != lineReplica {
+		return 0, false
+	}
+	replica, _ := l2.Invalidate(la)
+	return replica.Util, true
+}
+
+// dropSharershipAtHome applies a replica drop at the home directory: the
+// tile stops being a sharer (or, for a clean-Exclusive replica, stops
+// being the registered owner) and its frozen utilization classifies it.
+func (s *Simulator) dropSharershipAtHome(entry *dirEntry, tile int, util uint32) {
+	if (entry.state == coherence.ExclusiveState || entry.state == coherence.ModifiedState) &&
+		int(entry.owner) == tile {
+		entry.state = coherence.Uncached
+		entry.owner = -1
+	} else {
+		entry.sharers.Remove(tile)
+		if entry.sharers.Count() == 0 && entry.state == coherence.SharedState {
+			entry.state = coherence.Uncached
+		}
+	}
+	s.classifyRemoval(entry, tile, util, true)
+	if s.cfg.TrackUtilization {
+		s.evictHist.Record(util)
+	}
+}
+
+// notifyReplicaEviction tells the home directory a replica was displaced:
+// the tile stops being a sharer and the frozen utilization classifies the
+// core, exactly as an L1 eviction notification would (replicas are always
+// clean, so the message is a single flit).
+func (s *Simulator) notifyReplicaEviction(tile int, victim cache.Line, t mem.Cycle) {
+	la := victim.Addr
+	home := int(victim.Home)
+	s.mesh.Unicast(tile, home, 1, t)
+
+	ht := &s.tiles[home]
+	entry := ht.dir[la]
+	if entry == nil {
+		panic(fmt.Sprintf("sim: replica eviction of line %#x without directory entry", la))
+	}
+	s.dropSharershipAtHome(entry, tile, victim.Util)
+	s.cores[tile].history[la] = hEvicted
+}
+
+// invalidateTileCopy removes a tile's copy of a line wherever it lives —
+// the L1 or, under victim replication, the local L2 replica — returning
+// the removed line. It panics if neither holds the line (the directory's
+// sharer bookkeeping is exact).
+func (s *Simulator) invalidateTileCopy(tile int, la mem.Addr) cache.Line {
+	if line, ok := s.tiles[tile].l1d.Invalidate(la); ok {
+		return line
+	}
+	if s.cfg.VictimReplication {
+		l2 := s.tiles[tile].l2
+		if rl := l2.Probe(la); rl != nil && rl.State == lineReplica {
+			line, _ := l2.Invalidate(la)
+			return line
+		}
+	}
+	panic(fmt.Sprintf("sim: invalidation of absent line %#x at tile %d", la, tile))
+}

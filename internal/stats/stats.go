@@ -1,0 +1,242 @@
+// Package stats provides the counters, latency/energy breakdowns and
+// aggregation helpers used to report the paper's evaluation metrics
+// (Section 4.4: completion time breakdown, miss-type breakdown, energy
+// breakdown).
+package stats
+
+import "math"
+
+// TimeBreakdown decomposes completion time into the paper's six components
+// (Section 4.4). All values are in cycles, summed across the accounted cores.
+type TimeBreakdown struct {
+	Compute   float64 // pipeline compute cycles
+	L1ToL2    float64 // L1 miss round trip to home L2 incl. first L2 access
+	L2Waiting float64 // serialization queueing on the home line
+	L2Sharers float64 // invalidation / synchronous write-back round trips
+	OffChip   float64 // DRAM access incl. controller queueing
+	Sync      float64 // barrier + lock waiting
+}
+
+// Total returns the sum of all components.
+func (b TimeBreakdown) Total() float64 {
+	return b.Compute + b.L1ToL2 + b.L2Waiting + b.L2Sharers + b.OffChip + b.Sync
+}
+
+// Add accumulates o into b.
+func (b *TimeBreakdown) Add(o TimeBreakdown) {
+	b.Compute += o.Compute
+	b.L1ToL2 += o.L1ToL2
+	b.L2Waiting += o.L2Waiting
+	b.L2Sharers += o.L2Sharers
+	b.OffChip += o.OffChip
+	b.Sync += o.Sync
+}
+
+// Scale returns b with every component multiplied by f.
+func (b TimeBreakdown) Scale(f float64) TimeBreakdown {
+	return TimeBreakdown{
+		Compute:   b.Compute * f,
+		L1ToL2:    b.L1ToL2 * f,
+		L2Waiting: b.L2Waiting * f,
+		L2Sharers: b.L2Sharers * f,
+		OffChip:   b.OffChip * f,
+		Sync:      b.Sync * f,
+	}
+}
+
+// EnergyBreakdown decomposes dynamic energy by component (Figure 8). Units
+// are picojoules.
+type EnergyBreakdown struct {
+	L1I       float64
+	L1D       float64
+	L2        float64
+	Directory float64
+	Router    float64
+	Link      float64
+}
+
+// Total returns the sum of all components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.L1I + e.L1D + e.L2 + e.Directory + e.Router + e.Link
+}
+
+// Add accumulates o into e.
+func (e *EnergyBreakdown) Add(o EnergyBreakdown) {
+	e.L1I += o.L1I
+	e.L1D += o.L1D
+	e.L2 += o.L2
+	e.Directory += o.Directory
+	e.Router += o.Router
+	e.Link += o.Link
+}
+
+// Scale returns e with every component multiplied by f.
+func (e EnergyBreakdown) Scale(f float64) EnergyBreakdown {
+	return EnergyBreakdown{
+		L1I: e.L1I * f, L1D: e.L1D * f, L2: e.L2 * f,
+		Directory: e.Directory * f, Router: e.Router * f, Link: e.Link * f,
+	}
+}
+
+// MissKind classifies L1 data cache misses per Section 4.4.
+type MissKind uint8
+
+// Miss types. Word misses are misses serviced as remote word accesses at the
+// shared L2 home.
+const (
+	MissCold MissKind = iota
+	MissCapacity
+	MissUpgrade
+	MissSharing
+	MissWord
+	numMissKinds
+)
+
+// String implements fmt.Stringer.
+func (k MissKind) String() string {
+	switch k {
+	case MissCold:
+		return "cold"
+	case MissCapacity:
+		return "capacity"
+	case MissUpgrade:
+		return "upgrade"
+	case MissSharing:
+		return "sharing"
+	case MissWord:
+		return "word"
+	default:
+		return "unknown"
+	}
+}
+
+// MissStats accumulates L1-D access outcomes.
+type MissStats struct {
+	Hits   uint64
+	Misses [int(numMissKinds)]uint64
+}
+
+// Record counts one miss of kind k.
+func (m *MissStats) Record(k MissKind) { m.Misses[k]++ }
+
+// TotalMisses returns the number of misses of any kind.
+func (m *MissStats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range m.Misses {
+		t += v
+	}
+	return t
+}
+
+// Accesses returns hits + misses.
+func (m *MissStats) Accesses() uint64 { return m.Hits + m.TotalMisses() }
+
+// Rate returns the overall miss rate in percent.
+func (m *MissStats) Rate() float64 {
+	a := m.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(m.TotalMisses()) / float64(a)
+}
+
+// RateOf returns the miss rate of a single kind in percent of all accesses.
+func (m *MissStats) RateOf(k MissKind) float64 {
+	a := m.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(m.Misses[k]) / float64(a)
+}
+
+// Add accumulates o into m.
+func (m *MissStats) Add(o MissStats) {
+	m.Hits += o.Hits
+	for i := range m.Misses {
+		m.Misses[i] += o.Misses[i]
+	}
+}
+
+// UtilizationHistogram buckets cache-line utilization at
+// eviction/invalidation time into the paper's Figure 1/2 bins:
+// 1, 2–3, 4–5, 6–7, >=8.
+type UtilizationHistogram struct {
+	Buckets [5]uint64
+}
+
+// BucketLabels are the paper's bin labels for Figures 1 and 2.
+var BucketLabels = [5]string{"1", "2,3", "4,5", "6,7", ">=8"}
+
+// Record adds one sample with the given utilization count.
+func (h *UtilizationHistogram) Record(utilization uint32) {
+	switch {
+	case utilization <= 1:
+		h.Buckets[0]++
+	case utilization <= 3:
+		h.Buckets[1]++
+	case utilization <= 5:
+		h.Buckets[2]++
+	case utilization <= 7:
+		h.Buckets[3]++
+	default:
+		h.Buckets[4]++
+	}
+}
+
+// Total returns the number of recorded samples.
+func (h *UtilizationHistogram) Total() uint64 {
+	var t uint64
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Percent returns the share of each bucket in percent (zeros when empty).
+func (h *UtilizationHistogram) Percent() [5]float64 {
+	var out [5]float64
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	for i, b := range h.Buckets {
+		out[i] = 100 * float64(b) / float64(t)
+	}
+	return out
+}
+
+// Add accumulates o into h.
+func (h *UtilizationHistogram) Add(o UtilizationHistogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values.
+// It returns 0 when no positive values exist.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeBreakdownTotalAndAdd(t *testing.T) {
+	a := TimeBreakdown{Compute: 1, L1ToL2: 2, L2Waiting: 3, L2Sharers: 4, OffChip: 5, Sync: 6}
+	if got := a.Total(); got != 21 {
+		t.Fatalf("Total = %v, want 21", got)
+	}
+	b := a
+	b.Add(a)
+	if got := b.Total(); got != 42 {
+		t.Fatalf("after Add, Total = %v, want 42", got)
+	}
+	s := a.Scale(2)
+	if s.Compute != 2 || s.Sync != 12 {
+		t.Fatalf("Scale wrong: %+v", s)
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	e := EnergyBreakdown{L1I: 1, L1D: 2, L2: 3, Directory: 4, Router: 5, Link: 6}
+	if e.Total() != 21 {
+		t.Fatalf("Total = %v", e.Total())
+	}
+	e.Add(e)
+	if e.Total() != 42 {
+		t.Fatalf("Total after add = %v", e.Total())
+	}
+	if got := e.Scale(0.5).Total(); got != 21 {
+		t.Fatalf("Scale(0.5).Total = %v", got)
+	}
+}
+
+func TestMissStats(t *testing.T) {
+	var m MissStats
+	m.Hits = 90
+	m.Record(MissCold)
+	m.Record(MissCapacity)
+	m.Record(MissCapacity)
+	m.Record(MissWord)
+	m.Record(MissSharing)
+	m.Record(MissUpgrade)
+	m.Record(MissWord)
+	m.Record(MissWord)
+	m.Record(MissWord)
+	m.Record(MissWord)
+	if got := m.TotalMisses(); got != 10 {
+		t.Fatalf("TotalMisses = %d, want 10", got)
+	}
+	if got := m.Rate(); got != 10 {
+		t.Fatalf("Rate = %v, want 10", got)
+	}
+	if got := m.RateOf(MissWord); got != 5 {
+		t.Fatalf("RateOf(word) = %v, want 5", got)
+	}
+	var o MissStats
+	o.Add(m)
+	o.Add(m)
+	if o.TotalMisses() != 20 || o.Hits != 180 {
+		t.Fatalf("Add broken: %+v", o)
+	}
+}
+
+func TestMissKindString(t *testing.T) {
+	want := map[MissKind]string{
+		MissCold: "cold", MissCapacity: "capacity", MissUpgrade: "upgrade",
+		MissSharing: "sharing", MissWord: "word", MissKind(42): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), s)
+		}
+	}
+}
+
+func TestUtilizationHistogramBuckets(t *testing.T) {
+	var h UtilizationHistogram
+	samples := map[uint32]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3, 7: 3, 8: 4, 100: 4}
+	for u, want := range samples {
+		var g UtilizationHistogram
+		g.Record(u)
+		for i := range g.Buckets {
+			wantCount := uint64(0)
+			if i == want {
+				wantCount = 1
+			}
+			if g.Buckets[i] != wantCount {
+				t.Errorf("Record(%d): bucket %d = %d, want %d", u, i, g.Buckets[i], wantCount)
+			}
+		}
+		h.Record(u)
+	}
+	if h.Total() != uint64(len(samples)) {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	p := h.Percent()
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percentages sum to %v", sum)
+	}
+}
+
+func TestUtilizationHistogramEmptyPercent(t *testing.T) {
+	var h UtilizationHistogram
+	for _, v := range h.Percent() {
+		if v != 0 {
+			t.Fatal("empty histogram must report zeros")
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Fatalf("GeoMean(non-positive) = %v", got)
+	}
+	// Non-positive values are ignored, not zeroing the result.
+	if got := GeoMean([]float64{0, 4}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(0,4) = %v, want 4", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+// Property: GeoMean of a single positive value is that value; GeoMean is
+// scale-multiplicative.
+func TestGeoMeanProperties(t *testing.T) {
+	single := func(x float64) bool {
+		x = math.Abs(x)
+		if x < 1e-300 || x > 1e300 || math.IsNaN(x) {
+			return true // exp(log(x)) loses precision at the float64 extremes
+		}
+		return math.Abs(GeoMean([]float64{x})-x) < 1e-9*x
+	}
+	if err := quick.Check(single, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram Total equals number of Records.
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(us []uint32) bool {
+		var h UtilizationHistogram
+		for _, u := range us {
+			h.Record(u)
+		}
+		return h.Total() == uint64(len(us))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package trace provides lazily generated, deterministic per-core memory
+// access streams. Workload kernels are written as ordinary imperative code
+// against an Emitter; each core's kernel runs in its own goroutine and
+// delivers accesses in fixed-size chunks over a channel, so traces are never
+// fully materialized. Delivery order per stream is exactly emission order,
+// making simulations deterministic regardless of goroutine scheduling.
+package trace
+
+import "lacc/internal/mem"
+
+// chunkSize balances channel traffic against buffering memory.
+const chunkSize = 4096
+
+// Stream yields one core's access sequence.
+type Stream interface {
+	// Next returns the next access; ok is false once the stream ends.
+	Next() (a mem.Access, ok bool)
+	// Close releases generator resources. It is safe to call multiple
+	// times and after exhaustion.
+	Close()
+}
+
+// GenFunc emits one core's trace through the Emitter. Returning ends the
+// stream.
+type GenFunc func(e *Emitter)
+
+// aborted signals generator shutdown via panic/recover, the only way to
+// stop arbitrary kernel code blocked on a full channel.
+type aborted struct{}
+
+// Emitter collects accesses from a workload kernel. Compute gaps accumulate
+// and attach to the next emitted operation.
+type Emitter struct {
+	chunk []mem.Access
+	out   chan []mem.Access
+	quit  chan struct{}
+	gap   uint32
+}
+
+// Compute records `cycles` of pipeline compute before the next operation.
+func (e *Emitter) Compute(cycles int) {
+	if cycles > 0 {
+		e.gap += uint32(cycles)
+	}
+}
+
+// Read emits a data read of the 64-bit word at a.
+func (e *Emitter) Read(a mem.Addr) { e.emit(mem.Access{Kind: mem.Read, Addr: a, Gap: e.takeGap()}) }
+
+// Write emits a data write of the 64-bit word at a.
+func (e *Emitter) Write(a mem.Addr) { e.emit(mem.Access{Kind: mem.Write, Addr: a, Gap: e.takeGap()}) }
+
+// Barrier emits a global barrier with identifier id; every core must emit
+// the same sequence of barriers.
+func (e *Emitter) Barrier(id uint64) {
+	e.emit(mem.Access{Kind: mem.Barrier, Addr: mem.Addr(id), Gap: e.takeGap()})
+}
+
+// Lock emits an acquire of lock id.
+func (e *Emitter) Lock(id uint64) {
+	e.emit(mem.Access{Kind: mem.Lock, Addr: mem.Addr(id), Gap: e.takeGap()})
+}
+
+// Unlock emits a release of lock id.
+func (e *Emitter) Unlock(id uint64) {
+	e.emit(mem.Access{Kind: mem.Unlock, Addr: mem.Addr(id), Gap: e.takeGap()})
+}
+
+func (e *Emitter) takeGap() uint32 {
+	g := e.gap
+	e.gap = 0
+	return g
+}
+
+func (e *Emitter) emit(a mem.Access) {
+	e.chunk = append(e.chunk, a)
+	if len(e.chunk) == chunkSize {
+		e.flush()
+	}
+}
+
+func (e *Emitter) flush() {
+	if len(e.chunk) == 0 {
+		return
+	}
+	select {
+	case e.out <- e.chunk:
+		e.chunk = make([]mem.Access, 0, chunkSize)
+	case <-e.quit:
+		panic(aborted{})
+	}
+}
+
+// chanStream adapts the generator goroutine's channel to the Stream
+// interface.
+type chanStream struct {
+	ch     chan []mem.Access
+	quit   chan struct{}
+	cur    []mem.Access
+	idx    int
+	closed bool
+}
+
+// New starts gen in a goroutine and returns its stream.
+func New(gen GenFunc) Stream {
+	s := &chanStream{
+		ch:   make(chan []mem.Access, 2),
+		quit: make(chan struct{}),
+	}
+	e := &Emitter{
+		chunk: make([]mem.Access, 0, chunkSize),
+		out:   s.ch,
+		quit:  s.quit,
+	}
+	go func() {
+		defer close(s.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(aborted); !ok {
+					panic(r) // real kernel bug: propagate
+				}
+			}
+		}()
+		gen(e)
+		e.flush()
+	}()
+	return s
+}
+
+func (s *chanStream) Next() (mem.Access, bool) {
+	for s.idx >= len(s.cur) {
+		chunk, ok := <-s.ch
+		if !ok {
+			return mem.Access{}, false
+		}
+		s.cur, s.idx = chunk, 0
+	}
+	a := s.cur[s.idx]
+	s.idx++
+	return a, true
+}
+
+func (s *chanStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.quit)
+	// Drain so the generator goroutine observes quit or finishes.
+	for range s.ch {
+	}
+}
+
+// FromSlice returns a Stream over a pre-built access slice (test helper and
+// public custom-trace entry point).
+func FromSlice(accesses []mem.Access) Stream {
+	return &sliceStream{accesses: accesses}
+}
+
+type sliceStream struct {
+	accesses []mem.Access
+	idx      int
+}
+
+func (s *sliceStream) Next() (mem.Access, bool) {
+	if s.idx >= len(s.accesses) {
+		return mem.Access{}, false
+	}
+	a := s.accesses[s.idx]
+	s.idx++
+	return a, true
+}
+
+func (s *sliceStream) Close() {}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+)
+
+// dataBase is the start of the simulated data segment. It leaves the low
+// address space free (guards against accidental zero addresses) and stays
+// far below the simulator's synthetic code segment at 1<<40.
+const dataBase mem.Addr = 1 << 22
+
+// arena is a page-granular bump allocator over the simulated address space.
+// Every region starts on a fresh page so that R-NUCA's page-level
+// classification never sees false sharing between logically distinct
+// structures (matching how the original benchmarks mmap their arrays).
+type arena struct {
+	next mem.Addr
+}
+
+func newArena() *arena {
+	return &arena{next: dataBase}
+}
+
+// region allocates space for `words` 64-bit words, page aligned.
+func (a *arena) region(words int) region {
+	if words <= 0 {
+		panic(fmt.Sprintf("workloads: region of %d words", words))
+	}
+	r := region{base: a.next, nwords: words}
+	bytes := mem.Addr(words) * mem.WordBytes
+	pages := (bytes + mem.PageBytes - 1) / mem.PageBytes
+	a.next += pages * mem.PageBytes
+	return r
+}
+
+// perCore allocates one region of `words` words per core, each starting on
+// its own page, so first-touch classifies each core's slice as private.
+func (a *arena) perCore(cores, words int) []region {
+	out := make([]region, cores)
+	for i := range out {
+		out[i] = a.region(words)
+	}
+	return out
+}
+
+// region is a contiguous run of 64-bit words in the simulated address space.
+type region struct {
+	base   mem.Addr
+	nwords int
+}
+
+// Words returns the region length in words.
+func (r region) Words() int { return r.nwords }
+
+// Lines returns the region length in cache lines (rounded up).
+func (r region) Lines() int {
+	return (r.nwords + mem.WordsPerLine - 1) / mem.WordsPerLine
+}
+
+// w returns the address of word i, bounds-checked.
+func (r region) w(i int) mem.Addr {
+	if i < 0 || i >= r.nwords {
+		panic(fmt.Sprintf("workloads: word %d out of region of %d words", i, r.nwords))
+	}
+	return r.base + mem.Addr(i)*mem.WordBytes
+}
+
+// line returns the address of the first word of cache line i of the region.
+func (r region) line(i int) mem.Addr {
+	n := r.Lines()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("workloads: line %d out of region of %d lines", i, n))
+	}
+	return r.base + mem.Addr(i)*mem.LineBytes
+}
+
+// contains reports whether addr falls inside the region (test helper).
+func (r region) contains(addr mem.Addr) bool {
+	return addr >= r.base && addr < r.base+mem.Addr(r.nwords)*mem.WordBytes
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import "lacc/internal/trace"
+
+// stripe returns the half-open range [lo, hi) of the items owned by core c
+// when n items are block-partitioned over `cores` cores. Remainders go to
+// the leading cores, matching how the pthread originals split loops.
+func stripe(n, cores, c int) (lo, hi int) {
+	per := n / cores
+	rem := n % cores
+	lo = c*per + min(c, rem)
+	hi = lo + per
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// readSpan emits reads of words [lo, hi) of r in order.
+func readSpan(e *trace.Emitter, r region, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.Read(r.w(i))
+	}
+}
+
+// writeSpan emits writes of words [lo, hi) of r in order.
+func writeSpan(e *trace.Emitter, r region, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.Write(r.w(i))
+	}
+}
+
+// barriers hands out the globally agreed barrier identifier sequence. Every
+// core creates its own barriers value and calls next at the same program
+// points, so all cores emit identical identifier sequences, which the
+// simulator checks.
+type barriers struct {
+	next uint64
+}
+
+func (b *barriers) sync(e *trace.Emitter) {
+	e.Barrier(b.next)
+	b.next++
+}
+
+// spmd builds one generator per core from a kernel body parameterized by
+// core id. Each body receives its own barriers sequence (identical across
+// cores) so kernels just call b.sync(e) at collective points.
+func spmd(cores int, body func(e *trace.Emitter, core int, b *barriers)) []trace.GenFunc {
+	gens := make([]trace.GenFunc, cores)
+	for c := 0; c < cores; c++ {
+		c := c
+		gens[c] = func(e *trace.Emitter) {
+			var b barriers
+			body(e, c, &b)
+		}
+	}
+	return gens
+}

@@ -1,0 +1,171 @@
+package workloads
+
+import "lacc/internal/trace"
+
+// The three remaining benchmarks of Table 2: travelling salesman (tsp),
+// depth-first search (dfs) and matrix multiply (matmul).
+
+func init() {
+	register(Workload{
+		Name:        "tsp",
+		Label:       "TSP",
+		Suite:       "Others",
+		PaperSize:   "16 cities",
+		DefaultSize: "16 cities, 128 tours/core",
+		build:       buildTSP,
+	})
+	register(Workload{
+		Name:        "dfs",
+		Label:       "DFS",
+		Suite:       "Others",
+		PaperSize:   "Graph with 876800 nodes",
+		DefaultSize: "64K nodes, 1K expansions/core",
+		build:       buildDFS,
+	})
+	register(Workload{
+		Name:        "matmul",
+		Label:       "MATMUL",
+		Suite:       "Others",
+		PaperSize:   "512 x 512 matrix",
+		DefaultSize: "520x520, 6x6 C tile/core",
+		build:       buildMatmul,
+	})
+}
+
+// buildTSP is branch-and-bound travelling salesman: partial tours migrate
+// through a lock-protected work queue (the migratory lines every core
+// bounces through with only a couple of accesses per visit — the sharing
+// misses the protocol converts to cheap word accesses), the distance matrix
+// is small and hot in every L1, and the global best bound is read on every
+// expansion and improved rarely under a lock.
+func buildTSP(s Spec) []trace.GenFunc {
+	const cities = 16
+	toursPerCore := s.scaled(128, 8)
+
+	a := newArena()
+	distMat := a.region(cities * cities)          // hot shared read-only
+	queue := a.region(8)                          // head index line
+	tours := a.region(s.Cores * toursPerCore * 2) // tour records, 4 per line
+	bound := a.region(8)                          // global best bound line
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		r := newRNG(s.Seed, uint64(c)+0x75b)
+		for t := 0; t < toursPerCore; t++ {
+			// Dequeue a partial tour: the queue head and the record were
+			// last written by whichever core produced them.
+			e.Lock(500)
+			e.Read(queue.w(0))
+			rec := (r.intn(s.Cores)*toursPerCore + t) * 2
+			e.Read(tours.w(rec))
+			e.Read(tours.w(rec + 1))
+			e.Write(queue.w(0))
+			e.Unlock(500)
+			// Expand: walk remaining cities reading the hot distance matrix
+			// and checking the global bound.
+			for depth := 0; depth < cities-2; depth++ {
+				i, j := r.intn(cities), r.intn(cities)
+				e.Read(distMat.w(i*cities + j))
+				e.Read(distMat.w(j*cities + i))
+				e.Compute(2)
+				if depth%4 == 0 {
+					e.Read(bound.w(0)) // prune check
+				}
+			}
+			// Publish a child tour for someone else to consume.
+			child := (c*toursPerCore + t) * 2
+			e.Write(tours.w(child))
+			e.Write(tours.w(child + 1))
+			// Rare bound improvement.
+			if r.intn(50) == 0 {
+				e.Lock(501)
+				e.Read(bound.w(0))
+				e.Write(bound.w(0))
+				e.Unlock(501)
+			}
+		}
+		b.sync(e)
+	})
+}
+
+// buildDFS is parallel depth-first search with a private stack per core and
+// a shared visited array: node expansions read the scattered visited words
+// of their neighbors (single-use lines over a large array) and mark newly
+// discovered nodes. The private stacks have perfect locality.
+func buildDFS(s Spec) []trace.GenFunc {
+	nodes := s.scaled(65536, 128*s.Cores)
+	expansionsPerCore := s.scaled(1024, 64)
+	const degree = 2
+
+	r := newRNG(s.Seed, 0xdf5)
+	g := newGraph(nodes, degree, r)
+
+	a := newArena()
+	visited := a.region(nodes)
+	stacks := a.perCore(s.Cores, 256)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		rr := newRNG(s.Seed, uint64(c)+0xdf6)
+		own := stacks[c]
+		sp := 0
+		for n := 0; n < expansionsPerCore; n++ {
+			// Pop (private stack).
+			if sp > 0 {
+				sp--
+			}
+			e.Read(own.w(sp % own.Words()))
+			u := rr.intn(nodes)
+			for _, v := range g.adjOf[u] {
+				e.Read(visited.w(v))
+				e.Compute(1)
+				if rr.intn(2) == 0 { // undiscovered: mark and push
+					e.Write(visited.w(v))
+					e.Write(own.w(sp % own.Words()))
+					sp++
+				}
+			}
+		}
+		b.sync(e)
+	})
+}
+
+// buildMatmul is the naive (unblocked) matrix multiply of the paper's
+// hand-written kernel set: every core computes a tile of C — six rows by
+// six consecutive columns — as full dot products. Per column, the B walk
+// installs one single-use line per matrix row; the row length is an odd
+// number of cache lines, so the column's footprint sweeps every L1 set and
+// flushes the A rows the next column would have reused. Once PCT >= 2
+// demotes the utilization-1 B lines, they are serviced as remote words and
+// stop polluting: the A tile becomes L1-resident and matmul's miss rate
+// drops sharply, exactly the Figure 10 behaviour the paper describes.
+func buildMatmul(s Spec) []trace.GenFunc {
+	// 520 words/row = 65 lines: coprime with the 128 L1 sets, so a column
+	// walk floods all sets; the 6x65-line A tile alone fits the 512-line L1.
+	const n = 520
+	const tileRows = 6
+	const tileCols = 6
+
+	a := newArena()
+	A := a.region(n * n)
+	B := a.region(n * n)
+	C := a.region(s.Cores * tileRows * tileCols)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		r := newRNG(s.Seed, uint64(c)+0x3a7)
+		i0 := (c * tileRows) % n
+		col0 := 8 * r.intn(n/8) // line-aligned column group
+		for d := 0; d < tileCols; d++ {
+			col := col0 + d
+			for k := 0; k < n; k++ {
+				for i := 0; i < tileRows; i++ {
+					e.Read(A.w((i0+i)*n + k)) // row-major streams, reused per column
+				}
+				e.Read(B.w(k*n + col)) // column walk, one word per line
+				e.Compute(1)
+			}
+			for i := 0; i < tileRows; i++ {
+				e.Write(C.w((c*tileRows+i)*tileCols + d))
+			}
+		}
+		b.sync(e)
+	})
+}

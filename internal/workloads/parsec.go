@@ -1,0 +1,409 @@
+package workloads
+
+import "lacc/internal/trace"
+
+// The PARSEC kernels (Bienia et al., PACT 2008) used by the paper:
+// blackscholes, streamcluster, dedup, bodytrack, fluidanimate and canneal.
+
+func init() {
+	register(Workload{
+		Name:        "blackscholes",
+		Label:       "BLACKSCH.",
+		Suite:       "PARSEC",
+		PaperSize:   "64K options",
+		DefaultSize: "64K options, 3 rounds",
+		build:       buildBlackscholes,
+	})
+	register(Workload{
+		Name:        "streamcluster",
+		Label:       "STREAMCLUS.",
+		Suite:       "PARSEC",
+		PaperSize:   "8192 points per block, 1 block",
+		DefaultSize: "64 points/core, 16 candidate rounds",
+		build:       buildStreamcluster,
+	})
+	register(Workload{
+		Name:        "dedup",
+		Label:       "DEDUP",
+		Suite:       "PARSEC",
+		PaperSize:   "31 MB data",
+		DefaultSize: "256 chunks/core, 4K-entry hash table",
+		build:       buildDedup,
+	})
+	register(Workload{
+		Name:        "bodytrack",
+		Label:       "BODYTRACK",
+		Suite:       "PARSEC",
+		PaperSize:   "2 frames, 2000 particles",
+		DefaultSize: "2 frames, 2000 particles, 1 MB image",
+		build:       buildBodytrack,
+	})
+	register(Workload{
+		Name:        "fluidanimate",
+		Label:       "FLUIDANIM.",
+		Suite:       "PARSEC",
+		PaperSize:   "5 frames, 100,000 particles",
+		DefaultSize: "3 frames, 64x16 cell grid",
+		build:       buildFluidanimate,
+	})
+	register(Workload{
+		Name:        "canneal",
+		Label:       "CANNEAL",
+		Suite:       "PARSEC",
+		PaperSize:   "200,000 elements",
+		DefaultSize: "64K elements, 1K swaps/core",
+		build:       buildCanneal,
+	})
+}
+
+// buildBlackscholes is the embarrassingly parallel option pricer: each core
+// streams over its stripe of option records — each record padded to its own
+// cache line, read once per pricing round — and writes the result into a
+// packed output array. The input stream is far larger than the L1, so under
+// the baseline every record line is installed, used once and evicted: the
+// single-use pattern whose capacity misses the protocol converts to word
+// misses from PCT 2 on (Section 5.1.1).
+func buildBlackscholes(s Spec) []trace.GenFunc {
+	// The per-core stripe must exceed the 32 KB L1 so that record lines are
+	// evicted between pricing rounds, as the paper's 64K-option run does.
+	n := s.scaled(65536, 16*s.Cores)
+	const rounds = 3
+
+	a := newArena()
+	options := a.region(n * 8) // one line per option record
+	prices := a.region(n)      // packed results, 8 per line
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		lo, hi := stripe(n, s.Cores, c)
+		for round := 0; round < rounds; round++ {
+			for i := lo; i < hi; i++ {
+				e.Read(options.w(i * 8)) // the record's packed parameters
+				e.Compute(8)             // CNDF evaluation
+				e.Write(prices.w(i))
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildStreamcluster is the k-median clustering kernel. Each candidate
+// round every core scans its private point stripe (high-locality streaming)
+// against the candidate center (hot shared read) and publishes its gain
+// into a cores-interleaved shared gain table — the classic streamcluster
+// pattern where a line holds entries of eight different cores and
+// ping-pongs between writers with utilization 1. The candidate's owner then
+// reads the whole gain table and updates the center, invalidating every
+// reader. The paper singles streamcluster out for converting these sharing
+// misses into word accesses and collapsing the L2 waiting time.
+func buildStreamcluster(s Spec) []trace.GenFunc {
+	perCore := s.scaled(48, 8)
+	rounds := s.scaled(20, 4)
+	const dims = 8      // one line per point
+	const subGains = 32 // lower-bound entries per core per round
+
+	a := newArena()
+	points := a.perCore(s.Cores, perCore*dims)
+	centers := a.region(rounds * dims)   // candidate centers, one line each
+	work := a.region(subGains * s.Cores) // cores-interleaved lower-bound table
+	totals := a.region(s.Cores)          // per-core gain subtotals, interleaved
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		own := points[c]
+		for round := 0; round < rounds; round++ {
+			// Distance of every local point to the candidate center.
+			for p := 0; p < perCore; p++ {
+				for d := 0; d < dims; d++ {
+					e.Read(own.w(p*dims + d))
+					e.Read(centers.w(round*dims + d))
+				}
+				e.Compute(4)
+			}
+			// Publish the per-candidate lower bounds into the interleaved
+			// work table: entry (sub, c) shares its line with seven other
+			// cores' entries, so each read-modify-write invalidates copies
+			// that saw at most a couple of accesses — streamcluster's
+			// signature utilization-1 ping-pong (Figure 1).
+			for sub := 0; sub < subGains; sub++ {
+				slot := sub*s.Cores + c
+				e.Read(work.w(slot))
+				e.Write(work.w(slot))
+				e.Compute(1)
+			}
+			// Fold the local bounds into the per-core subtotal (also a
+			// cores-interleaved ping-pong line, like the original's
+			// per-thread partial sums).
+			e.Read(totals.w(c))
+			e.Write(totals.w(c))
+			b.sync(e)
+			// The candidate's owner sums the per-core subtotals and
+			// opens/closes the facility, writing the center line.
+			if round%s.Cores == c {
+				readSpan(e, totals, 0, s.Cores)
+				writeSpan(e, centers, round*dims, round*dims+dims)
+				e.Compute(8)
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildDedup is the deduplication pipeline's hash-join stage: each core
+// reads a private input chunk (streaming), computes its fingerprint, then
+// probes a shared lock-protected hash table — a pointer chase over
+// low-reuse bucket lines — and inserts the chunk on a miss. Bucket lines
+// are the migratory shared data; the input stream is single-use private
+// data.
+func buildDedup(s Spec) []trace.GenFunc {
+	chunksPerCore := s.scaled(256, 16)
+	const chunkLines = 4
+	const tableEntries = 4096
+	const nLocks = 32
+
+	a := newArena()
+	input := a.perCore(s.Cores, chunksPerCore*chunkLines*8)
+	output := a.perCore(s.Cores, 1024) // compressed output streams
+	headers := a.region(tableEntries)  // bucket header words
+	entries := a.region(tableEntries * 2)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		r := newRNG(s.Seed, uint64(c)+0xded)
+		own := input[c]
+		out := output[c]
+		written := 0
+		for ch := 0; ch < chunksPerCore; ch++ {
+			// Stage 1 — chunking: read the payload (4 words per line) and
+			// run the rolling-hash anchoring.
+			for l := 0; l < chunkLines; l++ {
+				base := (ch*chunkLines + l) * 8
+				for w := 0; w < 4; w++ {
+					e.Read(own.w(base + w))
+				}
+				e.Compute(3)
+			}
+			// Stage 2 — deduplicate: probe the shared hash table under the
+			// bucket's lock.
+			bucket := r.intn(tableEntries)
+			lock := uint64(100 + bucket%nLocks)
+			unique := r.intn(2) == 0
+			e.Lock(lock)
+			e.Read(headers.w(bucket))
+			chain := r.intn(3)
+			for i := 0; i < chain; i++ {
+				slot := (bucket + i*17) % tableEntries
+				e.Read(entries.w(slot * 2))
+				e.Read(entries.w(slot*2 + 1))
+			}
+			if unique { // unique chunk: insert
+				slot := (bucket + chain*17) % tableEntries
+				e.Write(entries.w(slot * 2))
+				e.Write(entries.w(slot*2 + 1))
+				e.Write(headers.w(bucket))
+			}
+			e.Unlock(lock)
+			// Stage 3 — compress unique chunks (compute-heavy) and append
+			// to the private output stream; duplicates emit a reference.
+			if unique {
+				e.Compute(24)
+				for w := 0; w < chunkLines; w++ {
+					e.Write(out.w((written + w) % out.Words()))
+				}
+				written = (written + chunkLines) % out.Words()
+			} else {
+				e.Write(out.w(written % out.Words()))
+				written = (written + 1) % out.Words()
+			}
+			e.Compute(2)
+		}
+		b.sync(e)
+	})
+}
+
+// buildBodytrack is the particle-filter body tracker: per frame every core
+// evaluates the likelihood of its particle stripe by sampling random lines
+// of the shared edge-map image (single-use shared reads — the capacity
+// misses the protocol converts to word misses), then refines the best
+// candidates by scanning a dense image window (heavy reuse of exactly the
+// lines the sampling phase demoted — the phase change that makes bodytrack
+// 3.3x worse under the promotion-free Adapt1-way protocol, Figure 14), and
+// finally the per-core weights are reduced by core 0 before resampling.
+func buildBodytrack(s Spec) []trace.GenFunc {
+	particles := s.scaled(2000, 4*s.Cores)
+	const frames = 2
+	const samplesPerParticle = 32
+	const refinePasses = 6
+	imageLines := s.scaled(16384, 1024)
+
+	a := newArena()
+	image := a.region(imageLines * 8)
+	state := a.region(particles * 4) // particle pose vectors
+	weights := a.region(particles)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		lo, hi := stripe(particles, s.Cores, c)
+		window := imageLines / s.Cores // dense refinement window per core
+		for f := 0; f < frames; f++ {
+			r := newRNG(s.Seed+uint64(f), uint64(c)+0xb0d)
+			// Likelihood: scattered single-use samples of the edge map.
+			for i := lo; i < hi; i++ {
+				readSpan(e, state, i*4, i*4+4)
+				for k := 0; k < samplesPerParticle; k++ {
+					e.Read(image.w(r.intn(imageLines) * 8))
+					e.Compute(1)
+				}
+				e.Write(weights.w(i))
+			}
+			b.sync(e)
+			// Local refinement: dense repeated scans over the core's image
+			// window. Under Adapt2-way the window lines are promoted back to
+			// private after a few accesses; under Adapt1-way every read
+			// stays a remote round trip.
+			w0 := c * window
+			for pass := 0; pass < refinePasses; pass++ {
+				for l := 0; l < window; l++ {
+					for k := 0; k < 8; k++ { // dense: every pixel word
+						e.Read(image.w((w0+l)*8 + k))
+					}
+					e.Compute(2)
+				}
+			}
+			b.sync(e)
+			// Core 0 normalizes weights and broadcasts resampling choices.
+			if c == 0 {
+				readSpan(e, weights, 0, particles)
+				e.Compute(16)
+			}
+			b.sync(e)
+			// Resample: copy pose vectors of surviving particles (reads of
+			// other cores' stripes, writes of the own stripe).
+			for i := lo; i < hi; i++ {
+				src := r.intn(particles)
+				readSpan(e, state, src*4, src*4+4)
+				writeSpan(e, state, i*4, i*4+4)
+				e.Compute(2)
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildFluidanimate simulates SPH fluid over a grid of cells banded one
+// cell-row per core: density and force computation read the particles of
+// the cell and its neighbors; rows above/below belong to adjacent cores, so
+// every boundary interaction is a producer/consumer exchange guarded by the
+// per-cell locks the original uses.
+func buildFluidanimate(s Spec) []trace.GenFunc {
+	const cols = 16
+	rows := s.Cores // one cell-row per core
+	frames := s.scaled(3, 1)
+	const perCell = 8
+	const pWords = 4
+
+	a := newArena()
+	cellRows := a.perCore(rows, cols*perCell*pWords)
+	cellWords := perCell * pWords
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		own := cellRows[c]
+		r := newRNG(s.Seed, uint64(c)+0xf1d)
+		for f := 0; f < frames; f++ {
+			// Phase 1: rebuild the grid — particles that crossed a cell
+			// boundary move between cells; cross-row moves touch the
+			// neighbor's row under its lock.
+			for col := 0; col < cols; col++ {
+				base := col * cellWords
+				e.Read(own.w(base)) // cell header
+				if r.intn(8) == 0 && c+1 < rows {
+					lockID := uint64(280 + c*cols + col)
+					e.Lock(lockID)
+					e.Read(cellRows[c+1].w(base))
+					e.Write(cellRows[c+1].w(base))
+					e.Unlock(lockID)
+				}
+			}
+			b.sync(e)
+			// Phase 2+3: densities then forces, both reading the cell and
+			// its neighbors. Vertical neighbors live in adjacent cores'
+			// rows: lock the cell pair in a global order.
+			for col := 0; col < cols; col++ {
+				base := col * cellWords
+				// Intra-cell pair interactions.
+				for i := 0; i < perCell; i++ {
+					e.Read(own.w(base + i*pWords))
+					e.Compute(2)
+				}
+				// Horizontal neighbor (same core, no lock needed).
+				if col+1 < cols {
+					nb := (col + 1) * cellWords
+					for i := 0; i < perCell; i++ {
+						e.Read(own.w(nb + i*pWords))
+						e.Compute(1)
+					}
+				}
+				for _, dr := range []int{-1, 1} {
+					nr := c + dr
+					if nr < 0 || nr >= rows {
+						continue
+					}
+					lockID := uint64(200 + min(c, nr)*cols + col)
+					e.Lock(lockID)
+					nb := cellRows[nr]
+					for i := 0; i < perCell; i++ {
+						e.Read(nb.w(base + i*pWords))
+					}
+					e.Write(own.w(base + 2))
+					e.Unlock(lockID)
+					e.Compute(2)
+				}
+			}
+			b.sync(e)
+			// Phase 4+5: collision handling and advancing the particles —
+			// purely private updates with floating-point work.
+			for col := 0; col < cols; col++ {
+				base := col * cellWords
+				for i := 0; i < perCell; i++ {
+					e.Read(own.w(base + i*pWords))
+					e.Compute(3)
+					e.Write(own.w(base + i*pWords))
+				}
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildCanneal is simulated annealing over a netlist: each move picks two
+// pseudo-random elements, reads their location and the locations of their
+// net neighbors — uniformly scattered single-use reads over a multi-
+// megabyte shared array, the lowest-locality pattern in the suite — and
+// swaps the pair if the move is accepted. The paper's canneal is the
+// high-miss-rate benchmark whose energy is dominated by the network; word
+// misses pay off almost immediately (PCT 2).
+func buildCanneal(s Spec) []trace.GenFunc {
+	elements := s.scaled(65536, 4096)
+	swapsPerCore := s.scaled(1024, 64)
+	const neighbors = 4
+
+	a := newArena()
+	netlist := a.region(elements * 8) // one line per element
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		r := newRNG(s.Seed, uint64(c)+0xca1)
+		for sw := 0; sw < swapsPerCore; sw++ {
+			ei, ej := r.intn(elements), r.intn(elements)
+			for _, el := range []int{ei, ej} {
+				e.Read(netlist.w(el * 8))   // element location
+				e.Read(netlist.w(el*8 + 1)) // net pointer
+				for k := 0; k < neighbors; k++ {
+					nb := r.intn(elements)
+					e.Read(netlist.w(nb * 8))
+				}
+			}
+			e.Compute(4) // delta routing cost
+			if r.intn(10) < 3 {
+				e.Write(netlist.w(ei * 8))
+				e.Write(netlist.w(ej * 8))
+			}
+		}
+		b.sync(e)
+	})
+}

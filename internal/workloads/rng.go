@@ -1,0 +1,52 @@
+package workloads
+
+// rng is a small deterministic pseudo-random generator (splitmix64). The
+// kernels use it instead of math/rand so that traces are identical across Go
+// releases; determinism is part of the package contract.
+type rng struct {
+	state uint64
+}
+
+// newRNG returns a generator seeded from the workload seed and a stream
+// discriminator (typically the core id), so per-core sequences are
+// independent yet reproducible.
+func newRNG(seed, stream uint64) *rng {
+	r := &rng{state: seed*0x9e3779b97f4a7c15 + stream + 0x2545f4914f6cdd1d}
+	r.next() // decorrelate trivially related seeds
+	return r
+}
+
+// next returns the next 64-bit value.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workloads: intn of non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *rng) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

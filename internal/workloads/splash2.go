@@ -1,0 +1,481 @@
+package workloads
+
+import "lacc/internal/trace"
+
+// The SPLASH-2 kernels (Woo et al., ISCA 1995) used by the paper: radix,
+// lu-nc, barnes, ocean-nc, water-sp and raytrace. Each is re-implemented as
+// a trace-generating SPMD kernel that performs the benchmark's actual
+// algorithmic steps over the simulated address space.
+
+func init() {
+	register(Workload{
+		Name:        "radix",
+		Label:       "RADIX",
+		Suite:       "SPLASH-2",
+		PaperSize:   "1M Integers, radix 1024",
+		DefaultSize: "16K integers, radix 32, 2 passes",
+		build:       buildRadix,
+	})
+	register(Workload{
+		Name:        "lu-nc",
+		Label:       "LU-NC",
+		Suite:       "SPLASH-2",
+		PaperSize:   "512x512 matrix, 16x16 blocks",
+		DefaultSize: "96x96 matrix, 8x8 blocks",
+		build:       buildLU,
+	})
+	register(Workload{
+		Name:        "barnes",
+		Label:       "BARNES",
+		Suite:       "SPLASH-2",
+		PaperSize:   "16K particles",
+		DefaultSize: "2K particles, 2 timesteps",
+		build:       buildBarnes,
+	})
+	register(Workload{
+		Name:        "ocean-nc",
+		Label:       "OCEAN-NC",
+		Suite:       "SPLASH-2",
+		PaperSize:   "258x258 ocean",
+		DefaultSize: "192x96 grid, 5 sweeps",
+		build:       buildOcean,
+	})
+	register(Workload{
+		Name:        "water-sp",
+		Label:       "WATER-SP",
+		Suite:       "SPLASH-2",
+		PaperSize:   "512 molecules",
+		DefaultSize: "512 molecules, 16 timesteps",
+		build:       buildWaterSp,
+	})
+	register(Workload{
+		Name:        "raytrace",
+		Label:       "RAYTRACE",
+		Suite:       "SPLASH-2",
+		PaperSize:   "car",
+		DefaultSize: "16K rays, 4K-node BVH",
+		build:       buildRaytrace,
+	})
+}
+
+// buildRadix is the SPLASH-2 parallel radix sort: per digit pass every core
+// histograms its private key chunk, the per-core histograms are combined
+// into global scatter offsets (all-to-all reads of the shared histogram
+// array), and the keys are scattered to a destination array at positions
+// owned by no particular core — the scattered shared writes with single-use
+// lines are radix's signature coherence load.
+func buildRadix(s Spec) []trace.GenFunc {
+	const radix = 32
+	n := s.scaled(16384, 4*s.Cores)
+	passes := 2
+
+	// Host-side sort to derive the exact scatter destinations per pass.
+	keys := make([]int, n)
+	r := newRNG(s.Seed, 0xad1)
+	for i := range keys {
+		keys[i] = r.intn(radix * radix)
+	}
+	// dest[p][i] is where key index i of pass p's input lands in the output;
+	// digits[p][i] is its bucket, used for the histogram access pattern.
+	dest := make([][]int, passes)
+	digits := make([][]int, passes)
+	cur := append([]int(nil), keys...)
+	for p := 0; p < passes; p++ {
+		digit := func(k int) int {
+			d := k
+			for q := 0; q < p; q++ {
+				d /= radix
+			}
+			return d % radix
+		}
+		var count [radix]int
+		for _, k := range cur {
+			count[digit(k)]++
+		}
+		var start [radix]int
+		for d := 1; d < radix; d++ {
+			start[d] = start[d-1] + count[d-1]
+		}
+		dest[p] = make([]int, n)
+		digits[p] = make([]int, n)
+		next := start
+		out := make([]int, n)
+		for i, k := range cur {
+			d := digit(k)
+			pos := next[d]
+			next[d]++
+			dest[p][i] = pos
+			digits[p][i] = d
+			out[pos] = k
+		}
+		cur = out
+	}
+
+	a := newArena()
+	src := a.region(n) // pass input keys
+	dst := a.region(n) // pass output keys
+	hist := a.region(s.Cores * radix)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		lo, hi := stripe(n, s.Cores, c)
+		for p := 0; p < passes; p++ {
+			in, out := src, dst
+			if p%2 == 1 {
+				in, out = dst, src
+			}
+			// Phase 1: local histogram over the private key chunk.
+			for i := lo; i < hi; i++ {
+				e.Read(in.w(i))
+				slot := c*radix + digits[p][i]
+				e.Read(hist.w(slot))
+				e.Write(hist.w(slot))
+				e.Compute(1)
+			}
+			b.sync(e)
+			// Phase 2: global prefix — every core reads all histograms.
+			for d := 0; d < radix; d++ {
+				for other := 0; other < s.Cores; other++ {
+					e.Read(hist.w(other*radix + d))
+				}
+				e.Compute(1)
+			}
+			b.sync(e)
+			// Phase 3: permute keys to their scatter destinations.
+			for i := lo; i < hi; i++ {
+				e.Read(in.w(i))
+				e.Write(out.w(dest[p][i]))
+				e.Compute(1)
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildLU is the SPLASH-2 non-contiguous blocked LU factorization: blocks
+// are separately allocated (hence "non-contiguous") and owned round-robin.
+// Each step factors the diagonal block, updates the pivot row and column
+// (owners read the freshly written diagonal block — producer/consumer
+// sharing), then performs the trailing-submatrix update in which every
+// owner reads two remote pivot blocks and updates its own block with good
+// temporal locality.
+func buildLU(s Spec) []trace.GenFunc {
+	const bdim = 8 // block is bdim x bdim words
+	nblk := s.scaled(12, 4)
+	blockWords := bdim * bdim
+
+	a := newArena()
+	blocks := make([]region, nblk*nblk)
+	for i := range blocks {
+		blocks[i] = a.region(blockWords)
+	}
+	owner := func(bi, bj int) int { return (bi*nblk + bj) % s.Cores }
+	blk := func(bi, bj int) region { return blocks[bi*nblk+bj] }
+
+	// gemmUpdate emits C -= A*B over bdim x bdim blocks: for each output
+	// element, a row of A and a column of B are read and C is updated.
+	gemmUpdate := func(e *trace.Emitter, A, B, C region) {
+		for i := 0; i < bdim; i++ {
+			for j := 0; j < bdim; j++ {
+				for k := 0; k < bdim; k++ {
+					e.Read(A.w(i*bdim + k))
+					e.Read(B.w(k*bdim + j))
+				}
+				e.Read(C.w(i*bdim + j))
+				e.Write(C.w(i*bdim + j))
+				e.Compute(2)
+			}
+		}
+	}
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		for k := 0; k < nblk; k++ {
+			// Factor the diagonal block (its owner only).
+			if owner(k, k) == c {
+				d := blk(k, k)
+				for i := 0; i < bdim; i++ {
+					for j := 0; j < bdim; j++ {
+						e.Read(d.w(i*bdim + j))
+						e.Write(d.w(i*bdim + j))
+						e.Compute(1)
+					}
+				}
+			}
+			b.sync(e)
+			// Update pivot row and column blocks against the diagonal.
+			d := blk(k, k)
+			for t := k + 1; t < nblk; t++ {
+				if owner(k, t) == c { // row block
+					gemmUpdate(e, d, blk(k, t), blk(k, t))
+				}
+				if owner(t, k) == c { // column block
+					gemmUpdate(e, blk(t, k), d, blk(t, k))
+				}
+			}
+			b.sync(e)
+			// Trailing submatrix update.
+			for bi := k + 1; bi < nblk; bi++ {
+				for bj := k + 1; bj < nblk; bj++ {
+					if owner(bi, bj) == c {
+						gemmUpdate(e, blk(bi, k), blk(k, bj), blk(bi, bj))
+					}
+				}
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildBarnes is a Barnes-Hut N-body step: particles live in a 2-D grid of
+// cells with a shallow quadtree above them. Each timestep every core
+// computes forces on its particles — walking the tree's root-to-cell path
+// (hot shared reads) and reading the positions of particles in the 3x3
+// neighborhood of cells (moderate-reuse shared reads) — then writes its
+// particles' updated state (private), and cell summaries are rebuilt by
+// their owning cores (writes that invalidate all readers of the cell).
+func buildBarnes(s Spec) []trace.GenFunc {
+	n := s.scaled(2048, 4*s.Cores)
+	const grid = 16 // grid x grid leaf cells
+	const steps = 2
+	cells := grid * grid
+
+	// Host-side deterministic particle placement.
+	r := newRNG(s.Seed, 0xba21)
+	cellOf := make([]int, n) // particle -> cell
+	members := make([][]int, cells)
+	for i := 0; i < n; i++ {
+		cl := r.intn(cells)
+		cellOf[i] = cl
+		members[cl] = append(members[cl], i)
+	}
+
+	a := newArena()
+	pos := a.region(n * 2)         // particle positions (x, y)
+	vel := a.region(n * 2)         // particle velocities, private to the owner
+	cellSum := a.region(cells * 8) // one line per cell: center of mass + bounds
+	treePath := a.region(64)       // root + internal levels, hot shared lines
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		lo, hi := stripe(n, s.Cores, c)
+		for step := 0; step < steps; step++ {
+			// Force computation over the core's particles.
+			for i := lo; i < hi; i++ {
+				e.Read(pos.w(2 * i))
+				e.Read(pos.w(2*i + 1))
+				// Root-to-leaf tree walk: 4 hot internal levels, each with
+				// up to 16 nodes; the path is determined by the cell index.
+				for lvl := 0; lvl < 4; lvl++ {
+					e.Read(treePath.w(lvl*16 + (cellOf[i]>>(2*lvl))%16))
+				}
+				// 3x3 cell neighborhood: summaries plus member particles.
+				cx, cy := cellOf[i]%grid, cellOf[i]/grid
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := cx+dx, cy+dy
+						if nx < 0 || nx >= grid || ny < 0 || ny >= grid {
+							continue
+						}
+						cl := ny*grid + nx
+						e.Read(cellSum.w(cl * 8))
+						if dx == 0 && dy == 0 {
+							for _, j := range members[cl] {
+								if j != i {
+									e.Read(pos.w(2 * j))
+								}
+							}
+						}
+						e.Compute(2)
+					}
+				}
+				// Integrate: private velocity and position update.
+				e.Read(vel.w(2 * i))
+				e.Read(vel.w(2*i + 1))
+				e.Write(vel.w(2 * i))
+				e.Write(vel.w(2*i + 1))
+				e.Write(pos.w(2 * i))
+				e.Write(pos.w(2*i + 1))
+				e.Compute(4)
+			}
+			b.sync(e)
+			// Rebuild cell summaries: cells are partitioned over cores; the
+			// owner reads its members' positions and writes the summary line.
+			cl0, cl1 := stripe(cells, s.Cores, c)
+			for cl := cl0; cl < cl1; cl++ {
+				for _, j := range members[cl] {
+					e.Read(pos.w(2 * j))
+				}
+				writeSpan(e, cellSum, cl*8, cl*8+4)
+				e.Compute(2)
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildOcean is the SPLASH-2 ocean simulation's red-black successive
+// over-relaxation core: the grid is partitioned into bands of rows per
+// core; each sweep reads the 5-point stencil and writes the center. Rows
+// interior to a band have pure private reuse; band-boundary rows are
+// written by one core and read by its neighbor every sweep — the
+// nearest-neighbor producer/consumer sharing ocean is known for.
+func buildOcean(s Spec) []trace.GenFunc {
+	cols := 96
+	rows := s.scaled(192, 2*s.Cores)
+	const sweeps = 5
+
+	a := newArena()
+	grid := a.region(rows * cols)
+	errs := a.perCore(s.Cores, 8) // per-core residual accumulators
+	conv := a.region(8)           // global convergence flag line
+	at := func(r, c int) int { return r*cols + c }
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		r0, r1 := stripe(rows, s.Cores, c)
+		for sweep := 0; sweep < sweeps; sweep++ {
+			// Red-black successive over-relaxation.
+			for color := 0; color < 2; color++ {
+				for r := max(r0, 1); r < min(r1, rows-1); r++ {
+					for col := 1 + (r+color)%2; col < cols-1; col += 2 {
+						e.Read(grid.w(at(r-1, col)))
+						e.Read(grid.w(at(r+1, col)))
+						e.Read(grid.w(at(r, col-1)))
+						e.Read(grid.w(at(r, col+1)))
+						e.Read(grid.w(at(r, col)))
+						e.Write(grid.w(at(r, col)))
+						e.Compute(2)
+					}
+				}
+				b.sync(e)
+			}
+			// Residual: sample the band and accumulate the local error
+			// (private), then fold it into the global convergence test
+			// under a lock, as the original's multi-grid driver does.
+			for r := max(r0, 1); r < min(r1, rows-1); r += 2 {
+				for col := 1; col < cols-1; col += 8 {
+					e.Read(grid.w(at(r, col)))
+					e.Read(errs[c].w(0))
+					e.Write(errs[c].w(0))
+					e.Compute(1)
+				}
+			}
+			e.Lock(600)
+			e.Read(conv.w(0))
+			e.Write(conv.w(0))
+			e.Unlock(600)
+			b.sync(e)
+		}
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildWaterSp is the SPLASH-2 spatial water simulation: molecules are
+// binned into cells, one cell per core at the default geometry. Forces are
+// dominated by intra-cell pair interactions over a tiny per-core working
+// set with heavy floating-point compute, so the L1 miss rate is very low —
+// the paper uses water-sp as the benchmark whose energy is almost entirely
+// L1 (Section 5.1.1). A small fraction of reads cross into neighbor cells.
+func buildWaterSp(s Spec) []trace.GenFunc {
+	const perCell = 16
+	steps := s.scaled(16, 8)
+	const molWords = 8 // one line per molecule: position, velocity, forces
+
+	a := newArena()
+	cells := a.perCore(s.Cores, perCell*molWords)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		own := cells[c]
+		east := cells[(c+1)%s.Cores]
+		for step := 0; step < steps; step++ {
+			// Intra-cell pair forces: O(perCell^2) interactions over one
+			// resident cell; each interaction is compute-heavy. This loop
+			// dominates, which is what gives water-sp its ~0.2% miss rate.
+			for i := 0; i < perCell; i++ {
+				for j := i + 1; j < perCell; j++ {
+					e.Read(own.w(i * molWords))
+					e.Read(own.w(j * molWords))
+					e.Compute(12)
+					e.Write(own.w(i*molWords + 4))
+					e.Write(own.w(j*molWords + 4))
+				}
+			}
+			// Occasional boundary interaction with a few molecules of the
+			// east neighbor cell (cutoff-radius crossings are rare).
+			if step%4 == 0 {
+				for i := 0; i < 4; i++ {
+					e.Read(east.w(i * molWords))
+					e.Read(own.w(i * molWords))
+					e.Compute(12)
+					e.Write(own.w(i*molWords + 4))
+				}
+			}
+			// Integrate positions (private).
+			for i := 0; i < perCell; i++ {
+				e.Read(own.w(i*molWords + 4))
+				e.Write(own.w(i * molWords))
+				e.Compute(6)
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildRaytrace is the SPLASH-2 ray tracer: a shared read-only BVH and
+// triangle soup, a lock-protected global tile queue (the migratory line
+// every core bounces through), and a private framebuffer tile per work
+// unit. BVH roots are hot in every L1; deep nodes and triangles have low
+// per-line reuse.
+func buildRaytrace(s Spec) []trace.GenFunc {
+	rays := s.scaled(16384, 16*s.Cores)
+	const tile = 64 // rays per queue grab
+	const bvhNodes = 4096
+	const tris = 2048
+
+	a := newArena()
+	bvh := a.region(bvhNodes * 8) // one line per node
+	geom := a.region(tris * 8)    // one line per triangle
+	queue := a.region(8)          // head index + padding
+	frame := a.region(rays)       // framebuffer, one word per ray
+
+	tiles := (rays + tile - 1) / tile
+	// Host-side deterministic tile handout: round-robin keeps every core
+	// busy and is how a FIFO queue behaves under symmetric load.
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		r := newRNG(s.Seed, uint64(c)+0x4a7)
+		for t := c; t < tiles; t += s.Cores {
+			// Grab a tile from the shared queue.
+			e.Lock(1)
+			e.Read(queue.w(0))
+			e.Write(queue.w(0))
+			e.Unlock(1)
+			lo := t * tile
+			hi := min(lo+tile, rays)
+			for ray := lo; ray < hi; ray++ {
+				// Traverse: 4 hot top levels, then a pseudo-random deep path.
+				node := 0
+				for lvl := 0; lvl < 12; lvl++ {
+					e.Read(bvh.w(node * 8))
+					e.Compute(2)
+					if lvl < 3 {
+						node = node*2 + 1 + r.intn(2)
+					} else {
+						node = r.intn(bvhNodes)
+					}
+				}
+				// Intersect two candidate triangles.
+				for k := 0; k < 2; k++ {
+					tri := r.intn(tris)
+					e.Read(geom.w(tri * 8))
+					e.Read(geom.w(tri*8 + 1))
+					e.Compute(4)
+				}
+				e.Write(frame.w(ray))
+			}
+		}
+		b.sync(e)
+	})
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import "lacc/internal/trace"
+
+// The two UHPC graph benchmarks modeling social-network analytics:
+// connected components and community detection.
+
+func init() {
+	register(Workload{
+		Name:        "concomp",
+		Label:       "CONCOMP",
+		Suite:       "UHPC",
+		PaperSize:   "Graph with 2^18 nodes",
+		DefaultSize: "32K nodes, 1K edges/core/round, 4 rounds",
+		build:       buildConcomp,
+	})
+	register(Workload{
+		Name:        "community",
+		Label:       "COMMUNITY",
+		Suite:       "UHPC",
+		PaperSize:   "Graph with 2^16 nodes",
+		DefaultSize: "8K nodes, 5 rounds",
+		build:       buildCommunity,
+	})
+}
+
+// buildConcomp is label-propagation connected components over a large
+// random graph: each round every core sweeps its edge stripe, reading the
+// labels of both endpoints — uniformly scattered single-use reads over a
+// label array far larger than the L1 — and writing back the minimum when it
+// improves. The paper reports ~50% miss rate and notes that the protocol
+// converts capacity misses into an almost equal number of word misses,
+// improving completion time without improving cache utilization.
+func buildConcomp(s Spec) []trace.GenFunc {
+	nodes := s.scaled(32768, 64*s.Cores)
+	edgesPerCore := s.scaled(1024, 64)
+	const rounds = 4
+
+	r := newRNG(s.Seed, 0xcc0)
+	g := newGraph(nodes, 2, r)
+
+	a := newArena()
+	labels := a.region(nodes)
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		rr := newRNG(s.Seed, uint64(c)+0xcc1)
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < edgesPerCore; i++ {
+				u := rr.intn(nodes)
+				v := g.adjOf[u][rr.intn(len(g.adjOf[u]))]
+				e.Read(labels.w(u))
+				e.Read(labels.w(v))
+				e.Compute(1)
+				// Label improvements become rarer as components merge.
+				if rr.intn(10) < 5-round {
+					e.Write(labels.w(v))
+				}
+			}
+			b.sync(e)
+		}
+	})
+}
+
+// buildCommunity is label-propagation community detection: nodes adopt the
+// most frequent label among their neighbors. Unlike concomp the graph has
+// locality — most neighbors are drawn from a nearby window, and each node's
+// own label is written by a fixed owner core — so the label array shows a
+// mix of reusable and ping-pong lines.
+func buildCommunity(s Spec) []trace.GenFunc {
+	nodes := s.scaled(8192, 16*s.Cores)
+	const degree = 5
+	const rounds = 5
+	const window = 512 // locality window for neighbor selection
+
+	// Host-side graph: 70% of edges stay inside the window.
+	hr := newRNG(s.Seed, 0xc03)
+	adjOf := make([][]int, nodes)
+	for u := 0; u < nodes; u++ {
+		adj := make([]int, degree)
+		for i := range adj {
+			if hr.intn(10) < 7 {
+				adj[i] = (u + hr.intn(window) - window/2 + nodes) % nodes
+			} else {
+				adj[i] = hr.intn(nodes)
+			}
+		}
+		adjOf[u] = adj
+	}
+
+	a := newArena()
+	labels := a.region(nodes)
+	hist := a.perCore(s.Cores, 64) // private label-frequency scratch
+
+	return spmd(s.Cores, func(e *trace.Emitter, c int, b *barriers) {
+		lo, hi := stripe(nodes, s.Cores, c)
+		rr := newRNG(s.Seed, uint64(c)+0xc04)
+		for round := 0; round < rounds; round++ {
+			for u := lo; u < hi; u++ {
+				// Count neighbor labels in the private histogram.
+				for i, v := range adjOf[u] {
+					e.Read(labels.w(v))
+					slot := (v + i) % hist[c].Words()
+					e.Read(hist[c].w(slot))
+					e.Write(hist[c].w(slot))
+					e.Compute(1)
+				}
+				// Adopt the majority label when it changes; communities
+				// settle quickly, so the late rounds are read-only.
+				e.Read(labels.w(u))
+				if rr.intn(10) < 6-2*round {
+					e.Write(labels.w(u))
+				}
+			}
+			b.sync(e)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package workloads implements the 21 parallel benchmarks of the paper's
+// Table 2 as deterministic trace-generating kernels. Each kernel is a real
+// algorithm written against the trace.Emitter API: it allocates data
+// structures in the simulated address space, runs the computation in SPMD
+// style (one generator per core) and emits the resulting reads, writes,
+// compute gaps and synchronization operations.
+//
+// The paper runs SPLASH-2, PARSEC, Parallel-MI-Bench, two UHPC graph
+// benchmarks and three hand-written kernels on the Graphite simulator. The
+// originals are pthread binaries; here each benchmark is re-implemented so
+// that it reproduces the access and sharing pattern the coherence protocol
+// reacts to: streaming vs reuse (spatio-temporal locality per cache line),
+// private vs shared data, degree of sharing, invalidation ping-pong,
+// migratory objects and synchronization structure. Problem sizes are scaled
+// down from Table 2 so a full PCT sweep runs on a laptop; the Scale knob
+// restores larger sizes.
+//
+// All kernels are deterministic: given the same Spec they emit exactly the
+// same per-core streams, so simulations are reproducible bit-for-bit.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"lacc/internal/trace"
+)
+
+// Spec parameterizes a workload build.
+type Spec struct {
+	// Cores is the number of generator streams to build (one per core).
+	Cores int
+	// Scale multiplies the default (reduced) problem size; 1.0 is the
+	// default, larger values approach the paper's Table 2 sizes.
+	Scale float64
+	// Seed perturbs the deterministic pseudo-random choices of kernels that
+	// use randomness (e.g. canneal's swap selection). Zero is a valid seed.
+	Seed uint64
+}
+
+// normalize applies defaults.
+func (s Spec) normalize() Spec {
+	if s.Cores <= 0 {
+		s.Cores = 64
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1
+	}
+	return s
+}
+
+// scaled returns max(lo, round(base*Scale)).
+func (s Spec) scaled(base, lo int) int {
+	n := int(float64(base)*s.Scale + 0.5)
+	if n < lo {
+		n = lo
+	}
+	return n
+}
+
+// Workload is one registered benchmark.
+type Workload struct {
+	// Name is the canonical lower-case identifier (e.g. "streamcluster").
+	Name string
+	// Label is the display label used in the paper's figures
+	// (e.g. "STREAMCLUS.").
+	Label string
+	// Suite is the benchmark suite of Table 2.
+	Suite string
+	// PaperSize is the problem size the paper used (Table 2), for reference.
+	PaperSize string
+	// DefaultSize describes the reduced problem size at Scale=1.
+	DefaultSize string
+
+	build func(Spec) []trace.GenFunc
+}
+
+// Build returns one trace generator per core for the given spec.
+func (w Workload) Build(s Spec) []trace.GenFunc {
+	return w.build(s.normalize())
+}
+
+// Streams builds the workload and starts one lazily generated stream per
+// core.
+func (w Workload) Streams(s Spec) []trace.Stream {
+	gens := w.Build(s)
+	streams := make([]trace.Stream, len(gens))
+	for i, g := range gens {
+		streams[i] = trace.New(g)
+	}
+	return streams
+}
+
+// registry holds all workloads keyed by Name.
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// All returns every registered workload in the paper's Table 2 order
+// (suite by suite, then the order within the suite).
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, name := range Names() {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// tableOrder is the paper's Table 2 ordering.
+var tableOrder = []string{
+	// SPLASH-2
+	"radix", "lu-nc", "barnes", "ocean-nc", "water-sp", "raytrace",
+	// PARSEC
+	"blackscholes", "streamcluster", "dedup", "bodytrack", "fluidanimate", "canneal",
+	// Parallel MI Bench
+	"dijkstra-ss", "dijkstra-ap", "patricia", "susan",
+	// UHPC
+	"concomp", "community",
+	// Others
+	"tsp", "dfs", "matmul",
+}
+
+// Names returns the canonical workload names in Table 2 order, followed by
+// any extra registrations in lexical order.
+func Names() []string {
+	seen := make(map[string]bool, len(registry))
+	out := make([]string, 0, len(registry))
+	for _, n := range tableOrder {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range registry {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// ByName looks a workload up by its canonical name.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// MustByName is ByName but panics on unknown names (for internal tables).
+func MustByName(name string) Workload {
+	w, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: unknown workload %q", name))
+	}
+	return w
+}

@@ -1,0 +1,45 @@
+package lacc
+
+import (
+	"lacc/internal/sim"
+	"lacc/internal/stats"
+)
+
+// Result is the outcome of one simulation: completion time, the paper's
+// latency and energy breakdowns, cache miss classification, protocol
+// activity (promotions, demotions, word accesses, invalidations), network
+// and DRAM counters, and the Figure 1/2 utilization histograms.
+type Result = sim.Result
+
+// TimeBreakdown decomposes completion time into the paper's components:
+// compute, L1-to-L2, L2 waiting, L2-to-sharers, off-chip and
+// synchronization (Section 4.4).
+type TimeBreakdown = stats.TimeBreakdown
+
+// EnergyBreakdown decomposes dynamic energy by component: L1-I, L1-D, L2,
+// directory, network routers and network links (Figure 8).
+type EnergyBreakdown = stats.EnergyBreakdown
+
+// MissStats classifies L1-D misses into cold, capacity, upgrade, sharing
+// and word misses (Section 4.4).
+type MissStats = stats.MissStats
+
+// MissKind identifies one of the paper's five miss classes.
+type MissKind = stats.MissKind
+
+// Miss classes.
+const (
+	MissCold     = stats.MissCold
+	MissCapacity = stats.MissCapacity
+	MissUpgrade  = stats.MissUpgrade
+	MissSharing  = stats.MissSharing
+	MissWord     = stats.MissWord
+)
+
+// UtilizationHistogram buckets line utilization at eviction/invalidation
+// time into the paper's Figure 1/2 bins (1, 2-3, 4-5, 6-7, >=8).
+type UtilizationHistogram = stats.UtilizationHistogram
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values —
+// the aggregation the paper uses for cross-benchmark results.
+func GeoMean(xs []float64) float64 { return stats.GeoMean(xs) }
