@@ -7,8 +7,10 @@
 //	lacc-bench -quick all
 //
 // Experiments: fig1, fig2, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// table1, table2, storage, ackwise, all. Figures 8-11 share one PCT sweep,
-// which is run once even when several of them are requested.
+// table1, table2, storage, ackwise, protocols, all. Figures 8-11 share one
+// PCT sweep, which is run once even when several of them are requested.
+// The protocols experiment runs full-map MESI, Dragon write-update and the
+// locality-aware adaptive protocol side by side.
 package main
 
 import (
@@ -27,6 +29,7 @@ var allExperiments = []string{
 	"table1", "table2", "storage", "storage-scaling",
 	"fig1", "fig2", "fig8", "fig9", "fig10", "fig11",
 	"fig12", "fig13", "fig14", "ackwise", "scaling", "vr",
+	"protocols",
 }
 
 func main() {
@@ -165,6 +168,11 @@ func (r *runner) run(name string) error {
 		var a *experiments.AckwiseComparisonResult
 		if a, err = experiments.AckwiseComparison(r.opts, nil); err == nil {
 			err = a.Render(os.Stdout)
+		}
+	case "protocols":
+		var p *experiments.ProtocolComparisonResult
+		if p, err = experiments.ProtocolComparison(r.opts, nil); err == nil {
+			err = p.Render(os.Stdout)
 		}
 	case "storage-scaling":
 		err = experiments.StorageScaling(nil).Render(os.Stdout)

@@ -28,6 +28,7 @@ func main() {
 		meshWidth  = flag.Int("mesh-width", 8, "mesh X dimension (must divide cores)")
 		scale      = flag.Float64("scale", 1.0, "problem-size multiplier")
 		seed       = flag.Uint64("seed", 0, "workload randomness seed")
+		protocol   = flag.String("protocol", "adaptive", "coherence protocol: adaptive, mesi, dragon")
 		pct        = flag.Int("pct", 4, "private caching threshold (1 = baseline directory protocol)")
 		ratMax     = flag.Int("ratmax", 16, "maximum remote access threshold")
 		ratLevels  = flag.Int("ratlevels", 2, "number of RAT levels")
@@ -57,6 +58,7 @@ func main() {
 	if cfg.MemControllers > cfg.Cores {
 		cfg.MemControllers = cfg.Cores
 	}
+	cfg.ProtocolKind = lacc.ProtocolKind(*protocol)
 	cfg.Protocol.PCT = *pct
 	cfg.Protocol.RATMax = *ratMax
 	cfg.Protocol.NRATLevels = *ratLevels
@@ -79,8 +81,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("workload %s on %d cores (pct=%d, classifier-k=%d, ackwise=%d)\n\n",
-		*workload, *cores, *pct, *classifier, *ackwise)
+	fmt.Printf("workload %s on %d cores (protocol=%s, pct=%d, classifier-k=%d, ackwise=%d)\n\n",
+		*workload, *cores, res.Protocol, *pct, *classifier, *ackwise)
 	fmt.Printf("completion: %d cycles\n", res.CompletionCycles)
 
 	tt := res.Time.Total()
@@ -131,6 +133,7 @@ func main() {
 	bp.AddRowValues("private->remote demotions", res.Demotions)
 	bp.AddRowValues("remote word reads", res.WordReads)
 	bp.AddRowValues("remote word writes", res.WordWrites)
+	bp.AddRowValues("sharer word updates", res.UpdateWrites)
 	bp.AddRowValues("invalidations", res.Invalidations)
 	bp.AddRowValues("broadcast invalidations", res.BroadcastInvalidations)
 	bp.AddRowValues("R-NUCA page reclassifications", res.Reclassifications)

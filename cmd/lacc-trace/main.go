@@ -138,6 +138,7 @@ func info(args []string) {
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	protocol := fs.String("protocol", "adaptive", "coherence protocol: adaptive, mesi, dragon")
 	pct := fs.Int("pct", 4, "private caching threshold")
 	classifier := fs.Int("classifier-k", 3, "Limited-k classifier size (0 = Complete)")
 	meshWidth := fs.Int("mesh-width", 0, "mesh X dimension (0 = auto)")
@@ -153,6 +154,7 @@ func replay(args []string) {
 	if cfg.MemControllers > cfg.Cores {
 		cfg.MemControllers = cfg.Cores
 	}
+	cfg.ProtocolKind = lacc.ProtocolKind(*protocol)
 	cfg.Protocol.PCT = *pct
 	cfg.ClassifierK = *classifier
 
@@ -160,11 +162,12 @@ func replay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("replayed %s under pct=%d classifier-k=%d\n", fs.Arg(0), *pct, *classifier)
+	fmt.Printf("replayed %s under protocol=%s pct=%d classifier-k=%d\n",
+		fs.Arg(0), res.Protocol, *pct, *classifier)
 	fmt.Printf("completion: %d cycles, energy: %.0f pJ, L1-D miss rate: %.2f%%\n",
 		res.CompletionCycles, res.Energy.Total(), res.L1DMissRate())
-	fmt.Printf("word accesses: %d reads, %d writes; invalidations: %d\n",
-		res.WordReads, res.WordWrites, res.Invalidations)
+	fmt.Printf("word accesses: %d reads, %d writes; updates: %d; invalidations: %d\n",
+		res.WordReads, res.WordWrites, res.UpdateWrites, res.Invalidations)
 }
 
 func autoWidth(cores, flagWidth int) int {

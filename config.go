@@ -16,6 +16,29 @@ type Config = sim.Config
 // ladder, the exact Timestamp mode and the Adapt1-way variant.
 type ProtocolParams = core.Params
 
+// ProtocolKind selects a coherence protocol implementation via
+// Config.ProtocolKind. See the Protocol* constants for the registered
+// implementations.
+type ProtocolKind = sim.ProtocolKind
+
+// Registered coherence protocols, selectable per simulation through
+// Config.ProtocolKind (the empty string means ProtocolAdaptive).
+const (
+	// ProtocolAdaptive is the paper's locality-aware adaptive protocol:
+	// an ACKwise directory with per-(line, core) private/remote
+	// classification and word-granular remote accesses.
+	ProtocolAdaptive = sim.ProtocolAdaptive
+	// ProtocolMESI is the classic full-map MESI directory baseline:
+	// whole-line transfers, write-invalidate, exact sharer vector.
+	ProtocolMESI = sim.ProtocolMESI
+	// ProtocolDragon is the Dragon-style write-update baseline: writes to
+	// shared lines push the word to all sharers instead of invalidating.
+	ProtocolDragon = sim.ProtocolDragon
+)
+
+// ProtocolKinds returns the registered coherence protocols, sorted.
+func ProtocolKinds() []ProtocolKind { return sim.ProtocolKinds() }
+
 // EnergyParams are the per-event dynamic energy constants of the 11 nm
 // McPAT/DSENT-style model.
 type EnergyParams = energy.Params

@@ -44,6 +44,14 @@ func ExperimentFig14(o ExperimentOptions) (*experiments.Fig14Result, error) {
 	return experiments.Fig14(o)
 }
 
+// ExperimentProtocolComparison runs every selected benchmark under each
+// coherence protocol side by side. A nil kinds list compares full-map MESI
+// (the reference), Dragon write-update and the locality-aware adaptive
+// protocol.
+func ExperimentProtocolComparison(o ExperimentOptions, kinds []ProtocolKind) (*experiments.ProtocolComparisonResult, error) {
+	return experiments.ProtocolComparison(o, kinds)
+}
+
 // ExperimentAckwise compares ACKwise-p pointer counts against the full-map
 // directory (the Section 5 prologue check; nil pointers = {4, cores}).
 func ExperimentAckwise(o ExperimentOptions, pointers []int) (*experiments.AckwiseComparisonResult, error) {

@@ -1,0 +1,3 @@
+module lacc
+
+go 1.22

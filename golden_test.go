@@ -11,29 +11,59 @@ import (
 // these numbers means a protocol, timing or workload change — which is
 // fine when intentional (regenerate the table below by running the listed
 // configuration), and a caught bug when not.
+//
+// The table covers all four benchmark families (SPLASH-2, PARSEC, Parallel
+// MI Bench, UHPC) under the adaptive protocol, plus one row per family
+// under the MESI and Dragon baselines so protocol drift is caught exactly
+// like timing drift. The "activity" column is the protocol's signature
+// event count: remote word accesses for adaptive, sharer word updates for
+// Dragon, zero for MESI (whole-line transfers only).
 func TestGoldenRegression(t *testing.T) {
 	golden := []struct {
 		workload   string
+		protocol   lacc.ProtocolKind
 		completion lacc.Cycle
 		accesses   uint64
-		wordAccess uint64
+		activity   uint64
 		linkFlits  uint64
 	}{
-		{"streamcluster", 57920, 12512, 3677, 76548},
-		{"matmul", 929756, 350016, 31894, 956601},
-		{"canneal", 609206, 20540, 1106, 634342},
+		// Locality-aware adaptive protocol (the paper's), PCT 4, Limited-3.
+		{"streamcluster", lacc.ProtocolAdaptive, 57920, 12512, 3677, 76548},
+		{"matmul", lacc.ProtocolAdaptive, 929756, 350016, 31894, 956601},
+		{"canneal", lacc.ProtocolAdaptive, 609206, 20540, 1106, 634342},
+		{"radix", lacc.ProtocolAdaptive, 97899, 32764, 2020, 186044},
+		{"lu-nc", lacc.ProtocolAdaptive, 60744, 30464, 0, 44906},
+		{"blackscholes", lacc.ProtocolAdaptive, 283271, 39324, 341, 332317},
+		{"dijkstra-ss", lacc.ProtocolAdaptive, 112328, 35600, 10775, 173792},
+		{"susan", lacc.ProtocolAdaptive, 59350, 96240, 0, 61142},
+		{"concomp", lacc.ProtocolAdaptive, 139809, 15324, 11479, 217882},
+		{"community", lacc.ProtocolAdaptive, 98649, 66534, 7240, 212212},
+
+		// Full-map MESI directory baseline.
+		{"streamcluster", lacc.ProtocolMESI, 89605, 12512, 0, 175660},
+		{"matmul", lacc.ProtocolMESI, 1148401, 350016, 0, 1992720},
+		{"canneal", lacc.ProtocolMESI, 614449, 20540, 0, 649714},
+
+		// Dragon write-update baseline.
+		{"streamcluster", lacc.ProtocolDragon, 91441, 12512, 15035, 167586},
+		{"matmul", lacc.ProtocolDragon, 1149359, 350016, 18, 1993145},
+		{"canneal", lacc.ProtocolDragon, 618705, 20540, 753, 646420},
 	}
 	for _, g := range golden {
 		g := g
-		t.Run(g.workload, func(t *testing.T) {
+		t.Run(g.workload+"/"+string(g.protocol), func(t *testing.T) {
 			t.Parallel()
 			cfg := lacc.DefaultConfig()
 			cfg.Cores = 16
 			cfg.MeshWidth = 4
 			cfg.MemControllers = 2
+			cfg.ProtocolKind = g.protocol
 			res, err := lacc.RunWorkload(cfg, g.workload, 0.1, 7)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if res.Protocol != string(g.protocol) {
+				t.Errorf("protocol = %q, golden %q", res.Protocol, g.protocol)
 			}
 			if res.CompletionCycles != g.completion {
 				t.Errorf("completion = %d, golden %d", res.CompletionCycles, g.completion)
@@ -41,8 +71,8 @@ func TestGoldenRegression(t *testing.T) {
 			if res.DataAccesses != g.accesses {
 				t.Errorf("accesses = %d, golden %d", res.DataAccesses, g.accesses)
 			}
-			if got := res.WordReads + res.WordWrites; got != g.wordAccess {
-				t.Errorf("word accesses = %d, golden %d", got, g.wordAccess)
+			if got := res.WordReads + res.WordWrites + res.UpdateWrites; got != g.activity {
+				t.Errorf("protocol activity = %d, golden %d", got, g.activity)
 			}
 			if res.LinkFlits != g.linkFlits {
 				t.Errorf("link flits = %d, golden %d", res.LinkFlits, g.linkFlits)

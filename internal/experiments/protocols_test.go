@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lacc/internal/sim"
+)
+
+func TestProtocolComparisonShape(t *testing.T) {
+	p, err := ProtocolComparison(testOptions("streamcluster", "matmul"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Protocols) != 3 || p.Protocols[0] != sim.ProtocolMESI {
+		t.Fatalf("default protocols = %v, want MESI-first trio", p.Protocols)
+	}
+	if len(p.Results) != 2 {
+		t.Fatalf("covered %d benchmarks, want 2", len(p.Results))
+	}
+	for bench, byKind := range p.Results {
+		for kind, r := range byKind {
+			if r == nil || r.DataAccesses == 0 {
+				t.Fatalf("%s/%s: empty result", bench, kind)
+			}
+			if r.Protocol != string(kind) {
+				t.Fatalf("%s/%s: result tagged %q", bench, kind, r.Protocol)
+			}
+		}
+		// The same workload build must produce the same access stream under
+		// every protocol (only the protocol walk differs).
+		n := byKind[sim.ProtocolMESI].DataAccesses
+		for kind, r := range byKind {
+			if r.DataAccesses != n {
+				t.Fatalf("%s/%s: %d accesses vs MESI's %d", bench, kind, r.DataAccesses, n)
+			}
+		}
+	}
+	// The reference normalizes to exactly 1.
+	for _, m := range []map[sim.ProtocolKind]float64{p.Completion, p.Energy, p.Traffic} {
+		if m[sim.ProtocolMESI] != 1 {
+			t.Fatalf("reference geomean = %v, want 1", m[sim.ProtocolMESI])
+		}
+	}
+	// On this protocol-sensitive subset the adaptive protocol must beat the
+	// MESI baseline on completion time (the paper's headline claim).
+	if p.Completion[sim.ProtocolAdaptive] >= 1 {
+		t.Fatalf("adaptive completion geomean = %.3f, want < 1 vs MESI",
+			p.Completion[sim.ProtocolAdaptive])
+	}
+
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mesi", "dragon", "adaptive", "geomeans"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolComparisonExplicitKinds(t *testing.T) {
+	p, err := ProtocolComparison(testOptions("streamcluster"),
+		[]sim.ProtocolKind{sim.ProtocolAdaptive, sim.ProtocolDragon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Protocols) != 2 || p.Protocols[0] != sim.ProtocolAdaptive {
+		t.Fatalf("protocols = %v, want explicit [adaptive dragon]", p.Protocols)
+	}
+	if p.Completion[sim.ProtocolAdaptive] != 1 {
+		t.Fatalf("reference (adaptive) geomean = %v, want 1", p.Completion[sim.ProtocolAdaptive])
+	}
+	if p.Results["streamcluster"][sim.ProtocolDragon].UpdateWrites == 0 {
+		t.Fatal("dragon run recorded no update writes on streamcluster")
+	}
+}

@@ -45,8 +45,15 @@ type Config struct {
 	// HopLatency is the mesh per-hop latency (Table 1: 2 cycles).
 	HopLatency int
 
+	// ProtocolKind selects the coherence protocol implementation from the
+	// registry: ProtocolAdaptive (the paper's locality-aware protocol,
+	// also the empty-string default), ProtocolMESI (full-map MESI
+	// directory baseline) or ProtocolDragon (write-update baseline).
+	ProtocolKind ProtocolKind
+
 	// Protocol holds the locality-aware protocol parameters; ClassifierK
-	// selects the Limited-k classifier (<= 0 means Complete).
+	// selects the Limited-k classifier (<= 0 means Complete). Both are
+	// consulted only by ProtocolAdaptive.
 	Protocol    core.Params
 	ClassifierK int
 
@@ -105,8 +112,9 @@ func Default() Config {
 
 		HopLatency: 2,
 
-		Protocol:    core.DefaultParams(),
-		ClassifierK: 3,
+		ProtocolKind: ProtocolAdaptive,
+		Protocol:     core.DefaultParams(),
+		ClassifierK:  3,
 
 		Energy: energy.DefaultParams(),
 
@@ -122,10 +130,26 @@ func Default() Config {
 	}
 }
 
+// protocolKind returns the configured protocol kind, defaulting the empty
+// string to the adaptive protocol so the zero Config keeps its historical
+// meaning.
+func (c Config) protocolKind() ProtocolKind {
+	if c.ProtocolKind == "" {
+		return ProtocolAdaptive
+	}
+	return c.ProtocolKind
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Cores <= 0 || c.MeshWidth <= 0 || c.Cores%c.MeshWidth != 0 {
 		return fmt.Errorf("sim: bad mesh geometry cores=%d width=%d", c.Cores, c.MeshWidth)
+	}
+	if _, ok := protocolFactories[c.protocolKind()]; !ok {
+		return fmt.Errorf("sim: unknown protocol %q (registered: %v)", c.ProtocolKind, ProtocolKinds())
+	}
+	if c.VictimReplication && c.protocolKind() != ProtocolAdaptive {
+		return fmt.Errorf("sim: victim replication requires the adaptive protocol, not %q", c.protocolKind())
 	}
 	if c.L1ISizeKB <= 0 || c.L1DSizeKB <= 0 || c.L2SizeKB <= 0 {
 		return fmt.Errorf("sim: cache sizes must be positive")

@@ -2,25 +2,120 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"lacc/internal/cache"
-	"lacc/internal/coherence"
-	"lacc/internal/core"
 	"lacc/internal/mem"
 	"lacc/internal/nuca"
 	"lacc/internal/stats"
 )
 
-// dataAccess executes one data read or write, including the full protocol
-// path on a miss. It advances the core's clock and accounts the latency
-// into the paper's completion-time components.
-func (s *Simulator) dataAccess(c *coreState, kind mem.AccessKind, addr mem.Addr) {
+// Protocol is the pluggable coherence protocol. A Protocol owns the entire
+// L1 data path — hits, the full miss/transaction walk through the home
+// directory, and the directory state transitions — plus the reaction to
+// cache displacement at both levels and to R-NUCA page migration. The
+// simulator core provides the substrate (tiles, mesh, DRAM, golden store,
+// energy meter) and is protocol-agnostic.
+//
+// Implementations register themselves with RegisterProtocol under a
+// ProtocolKind; Config.ProtocolKind selects one per simulation. Three
+// implementations ship in this package:
+//
+//   - ProtocolAdaptive — the paper's locality-aware adaptive protocol
+//     (ACKwise directory, private/remote classification, remote word
+//     accesses), in adaptive.go,
+//   - ProtocolMESI — a classic full-map MESI directory baseline (whole-line
+//     transfers only, exact sharer vector), in mesi.go,
+//   - ProtocolDragon — a Dragon-style write-update directory baseline
+//     (writes to shared lines update all copies instead of invalidating
+//     them), in dragon.go.
+type Protocol interface {
+	// Name returns the registered kind string for reports and results.
+	Name() string
+	// DataAccess executes one data read or write for core c, advancing the
+	// core's clock and accounting latency, energy and traffic.
+	DataAccess(c *coreState, kind mem.AccessKind, addr mem.Addr)
+	// L1Evict handles a line displaced from a core's L1 at time t: the
+	// eviction notification, write-back and directory release. The core
+	// does not wait on it.
+	L1Evict(c *coreState, victim cache.Line, t mem.Cycle)
+	// L2Evict handles a home L2 slice eviction at time t: the inclusive
+	// hierarchy back-invalidates all private copies and writes dirty data
+	// back to DRAM.
+	L2Evict(home int, victim cache.Line, t mem.Cycle)
+	// PageMove applies an R-NUCA private->shared page reclassification:
+	// the page's lines migrate out of the old home slice.
+	PageMove(recl *nuca.Reclassification, t mem.Cycle)
+	// Finalize merges protocol-specific counters into the run result.
+	Finalize(r *Result)
+}
+
+// ProtocolKind names a registered coherence protocol implementation.
+type ProtocolKind string
+
+// Registered protocol kinds. The empty string selects ProtocolAdaptive.
+const (
+	ProtocolAdaptive ProtocolKind = "adaptive"
+	ProtocolMESI     ProtocolKind = "mesi"
+	ProtocolDragon   ProtocolKind = "dragon"
+)
+
+// protocolFactories maps registered kinds to constructors. Protocols are
+// built per simulation: a factory receives the Simulator and returns a
+// Protocol bound to it.
+var protocolFactories = map[ProtocolKind]func(*Simulator) Protocol{}
+
+// RegisterProtocol adds a protocol implementation to the registry. It
+// panics on duplicate registration (registration happens in init funcs).
+func RegisterProtocol(kind ProtocolKind, factory func(*Simulator) Protocol) {
+	if kind == "" {
+		panic("sim: RegisterProtocol with empty kind")
+	}
+	if _, dup := protocolFactories[kind]; dup {
+		panic(fmt.Sprintf("sim: protocol %q registered twice", kind))
+	}
+	protocolFactories[kind] = factory
+}
+
+// ProtocolKinds returns the registered protocol kinds, sorted.
+func ProtocolKinds() []ProtocolKind {
+	kinds := make([]ProtocolKind, 0, len(protocolFactories))
+	for k := range protocolFactories {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// newProtocol instantiates the configured protocol for s. Config.Validate
+// has already checked the kind is registered.
+func newProtocol(s *Simulator) Protocol {
+	return protocolFactories[s.cfg.protocolKind()](s)
+}
+
+// Shared protocol-neutral machinery. The helpers below are used by every
+// protocol implementation (and the instruction-fetch path); they touch no
+// protocol-specific state.
+
+// protocolCore is the slice of a protocol implementation the shared
+// helpers call back into: the protocol's miss/transaction walk and its
+// directory-entry allocator (classifier-bearing for adaptive,
+// classifier-free full-map for the baselines).
+type protocolCore interface {
+	missPath(c *coreState, kind mem.AccessKind, addr mem.Addr, upgrade bool)
+	newDirEntry() *dirEntry
+}
+
+// dataAccess executes the protocol-neutral L1 hit path — reads hit in any
+// state, writes hit on an E or M copy (E upgrades to M silently) — and
+// hands everything else to the protocol's miss path: a plain miss, or a
+// write to an S copy (an upgrade under invalidation protocols, an update
+// transaction under Dragon).
+func (s *Simulator) dataAccess(p protocolCore, c *coreState, kind mem.AccessKind, addr mem.Addr) {
 	la := mem.LineOf(addr)
 	tl := &s.tiles[c.id]
 	if line := tl.l1d.Probe(la); line != nil {
 		if kind == mem.Read || line.State != lineS {
-			// L1 hit: reads in any state, writes on an E or M copy
-			// (E upgrades to M silently, classic MESI).
 			c.l1d.Hits++
 			line.Util++
 			tl.l1d.Touch(line, c.now)
@@ -38,200 +133,47 @@ func (s *Simulator) dataAccess(c *coreState, kind mem.AccessKind, addr mem.Addr)
 			c.now += mem.Cycle(s.cfg.L1DLatency)
 			return
 		}
-		// Write to an S copy: upgrade miss.
-		s.missPath(c, kind, addr, true)
+		p.missPath(c, kind, addr, true)
 		return
 	}
-	s.missPath(c, kind, addr, false)
+	p.missPath(c, kind, addr, false)
 }
 
-// missPath handles an L1 miss (or upgrade): it consults R-NUCA for the home
-// slice, walks the directory protocol there, and either installs a private
-// copy or performs a remote word access, per the locality classification.
-func (s *Simulator) missPath(c *coreState, kind mem.AccessKind, addr mem.Addr, upgrade bool) {
-	la := mem.LineOf(addr)
-
-	// Victim replication: a read miss with a local replica never leaves
-	// the tile; a write miss drops the local replica and carries the
-	// sharership release to the home inside the request.
-	if s.cfg.VictimReplication && kind == mem.Read && s.replicaRead(c, addr) {
-		return
-	}
-	replicaUtil, hadReplica := uint32(0), false
-	if kind == mem.Write {
-		replicaUtil, hadReplica = s.dropOwnReplica(c, la)
-	}
-
-	t0 := c.now
-	if kind == mem.Write {
-		s.meter.L1DWrites++
-	} else {
-		s.meter.L1DReads++
-	}
-
-	// L1 tag probe detected the miss.
-	t := t0 + mem.Cycle(s.cfg.L1DLatency)
-	var l1l2, wait, sharersLat, offchip mem.Cycle
-	l1l2 = t - t0
-
-	home, recl := s.nuca.DataHome(addr, c.id)
-	if recl != nil {
-		s.pageMove(recl, t)
-		t += mem.Cycle(s.cfg.PageMoveLatency)
-		offchip += mem.Cycle(s.cfg.PageMoveLatency)
-	}
-
-	// Request message: header flit, plus the data word on writes
-	// (Section 3.6: the word to be written travels with the request).
-	reqFlits := 1
-	if kind == mem.Write {
-		reqFlits = 2
-	}
-	tArr := s.mesh.Unicast(c.id, home, reqFlits, t)
-	l1l2 += tArr - t
-	t = tArr
+// lookupEntry walks the home slice for la at time t: it fills the L2 from
+// DRAM when absent (allocating a directory entry through the protocol),
+// serializes on the line's busy window, and charges the L2 access. It
+// returns the entry, the line, the advanced time and the wait/off-chip
+// latency components.
+func (s *Simulator) lookupEntry(p protocolCore, home int, la mem.Addr, t mem.Cycle) (
+	entry *dirEntry, l2line *cache.Line, tOut, wait, offchip mem.Cycle) {
 
 	ht := &s.tiles[home]
-	entry := ht.dir[la]
-	l2line := ht.l2.Probe(la)
+	entry = ht.dir[la]
+	l2line = ht.l2.Probe(la)
 	if l2line == nil {
 		if entry != nil {
 			panic(fmt.Sprintf("sim: directory entry without L2 line %#x", la))
 		}
 		var fillDone mem.Cycle
 		l2line, fillDone = s.l2Fill(home, la, t)
-		offchip += fillDone - t
+		offchip = fillDone - t
 		t = fillDone
-		entry = s.newDirEntry()
+		entry = p.newDirEntry()
 		ht.dir[la] = entry
 	} else if entry == nil {
 		panic(fmt.Sprintf("sim: data access to instruction line %#x", la))
 	}
 
-	// Serialize requests to the same line (L2 cache waiting time).
 	if entry.busyUntil > t {
 		wait = entry.busyUntil - t
 		t += wait
 	}
 	t += mem.Cycle(s.cfg.L2Latency)
-	l1l2 += mem.Cycle(s.cfg.L2Latency)
 	s.meter.DirLookups++
-
-	if hadReplica {
-		// The write request announced the requester's replica drop.
-		s.dropSharershipAtHome(entry, c.id, replicaUtil)
-	}
-
-	// Classifier inputs are computed before this access touches the line.
-	st := entry.cls.Lookup(c.id)
-	tsPass := false
-	if s.cfg.Protocol.UseTimestamp {
-		minLA, full := s.tiles[c.id].l1d.MinLastAccess(la)
-		tsPass = !full || l2line.LastAccess > minLA
-	}
-	hasInv := s.tiles[c.id].l1d.HasInvalidWay(la)
-
-	outcome := s.missOutcome(c, la, upgrade)
-
-	grant := false
-	replyFlits := 1
-	if kind == mem.Read {
-		if st.Mode == core.ModePrivate {
-			grant = true
-		} else {
-			// The most recent data must be at the L2 before a word read.
-			tWB := s.fetchOwnerForRead(home, la, entry, l2line, t)
-			sharersLat += tWB - t
-			t = tWB
-			if core.RemoteAccess(s.cfg.Protocol, st, tsPass, hasInv) {
-				grant = true
-				s.promotions++
-			} else {
-				s.wordReads++
-				s.meter.L2WordReads++
-				s.meter.DirUpdates++
-				if s.cfg.CheckValues {
-					s.checkVersion("remote word read", la, l2line.Version)
-				}
-				replyFlits = 2 // header + word
-			}
-		}
-		if grant {
-			// A private read fill also needs the owner's data.
-			tWB := s.fetchOwnerForRead(home, la, entry, l2line, t)
-			sharersLat += tWB - t
-			t = tWB
-		}
-	} else {
-		// Write: all private copies except the requester's are invalidated
-		// regardless of the requester's mode (Section 3.2).
-		tInv := s.invalidateSharers(home, la, entry, l2line, c.id, t)
-		sharersLat += tInv - t
-		t = tInv
-		// Remote utilization of every other remote sharer resets to 0.
-		entry.cls.ForEachTracked(func(id int, cs *core.CoreState) {
-			if id != c.id && cs.Mode == core.ModeRemote {
-				cs.RemoteUtil = 0
-				cs.Active = false
-			}
-		})
-		s.meter.DirUpdates++
-		if st.Mode == core.ModePrivate {
-			grant = true
-		} else if core.RemoteAccess(s.cfg.Protocol, st, tsPass, hasInv) {
-			grant = true
-			s.promotions++
-		} else {
-			// Remote word write commits at the L2. If the requester still
-			// holds an S copy from when it was a private sharer (possible
-			// when the Limited-k classifier lost its entry and the majority
-			// vote says remote), that stale copy is invalidated by the
-			// reply; the drop is local and costs no extra message.
-			if upgrade {
-				s.dropRequesterCopy(c, la, entry)
-			}
-			s.wordWrites++
-			s.meter.L2WordWrites++
-			s.meter.DirUpdates++
-			l2line.Version = s.goldenWrite(la)
-			l2line.Dirty = true
-			replyFlits = 1 // ack
-		}
-	}
-	if grant {
-		// The requester is (now) an active private sharer; the activity bit
-		// drives the Limited-k replacement policy (Section 3.4).
-		st.Active = true
-	}
-
-	ht.l2.Touch(l2line, t)
-	entry.busyUntil = t
-
-	var tEnd mem.Cycle
-	if grant {
-		tEnd = s.grantLine(c, kind, la, home, entry, l2line, upgrade, t)
-		l1l2 += tEnd - t
-		c.history[la] = hCached
-	} else {
-		tEnd = s.mesh.Unicast(home, c.id, replyFlits, t)
-		l1l2 += tEnd - t
-		c.history[la] = hRemote
-	}
-
-	c.l1d.Record(outcome)
-	c.bd.L1ToL2 += float64(l1l2)
-	c.bd.L2Waiting += float64(wait)
-	c.bd.L2Sharers += float64(sharersLat)
-	c.bd.OffChip += float64(offchip)
-	if s.cfg.CheckValues {
-		if sum := l1l2 + wait + sharersLat + offchip; sum != tEnd-t0 {
-			panic(fmt.Sprintf("sim: latency components %d != total %d", sum, tEnd-t0))
-		}
-	}
-	c.now = tEnd
+	return entry, l2line, t, wait, offchip
 }
 
-// missOutcome classifies the miss per Section 4.4 from the core's history
+// missOutcome classifies a miss per Section 4.4 from the core's history
 // with the line.
 func (s *Simulator) missOutcome(c *coreState, la mem.Addr, upgrade bool) stats.MissKind {
 	if upgrade {
@@ -249,197 +191,6 @@ func (s *Simulator) missOutcome(c *coreState, la mem.Addr, upgrade bool) stats.M
 	}
 }
 
-// grantLine hands a private copy (or upgraded write permission) to the
-// requester and installs it in the L1, evicting as needed. It returns the
-// time the reply (tail flit) reaches the requester.
-func (s *Simulator) grantLine(c *coreState, kind mem.AccessKind, la mem.Addr, home int,
-	entry *dirEntry, l2line *cache.Line, upgrade bool, t mem.Cycle) mem.Cycle {
-
-	replyFlits := 9 // header + 8 line flits
-	if upgrade {
-		replyFlits = 1 // permission only; data already in the L1
-	} else {
-		s.meter.L2LineReads++
-	}
-
-	if kind == mem.Read {
-		if entry.state == coherence.Uncached {
-			entry.state = coherence.ExclusiveState
-			entry.owner = int16(c.id)
-		} else {
-			// fetchOwnerForRead downgraded any E/M owner to Shared.
-			if entry.state != coherence.SharedState {
-				panic(fmt.Sprintf("sim: read grant in state %v", entry.state))
-			}
-			entry.sharers.Add(c.id)
-		}
-	} else {
-		if upgrade && entry.sharers.Contains(c.id) {
-			// Under victim replication the requester's S copy can descend
-			// from a clean-Exclusive replica reinstall, in which case the
-			// home still records it as the owner rather than a sharer.
-			entry.sharers.Remove(c.id)
-		}
-		if entry.sharers.Count() != 0 {
-			panic(fmt.Sprintf("sim: write grant with %d live sharers", entry.sharers.Count()))
-		}
-		entry.state = coherence.ModifiedState
-		entry.owner = int16(c.id)
-	}
-	s.meter.DirUpdates++
-
-	tEnd := s.mesh.Unicast(home, c.id, replyFlits, t)
-
-	l1 := s.tiles[c.id].l1d
-	var line *cache.Line
-	if upgrade {
-		line = l1.Probe(la)
-		if line == nil {
-			panic("sim: upgrade without an L1 copy")
-		}
-	} else {
-		var victim cache.Line
-		var evicted bool
-		line, victim, evicted = l1.Insert(la)
-		if evicted {
-			s.l1Evict(c, victim, tEnd)
-		}
-		s.meter.L1DWrites++ // line fill write
-		line.Home = int16(home)
-		line.Util = 0
-		line.Version = l2line.Version
-	}
-
-	line.Util++
-	l1.Touch(line, tEnd)
-	switch {
-	case kind == mem.Write:
-		line.State = lineM
-		line.Dirty = true
-		line.Version = s.goldenWrite(la)
-	case entry.state == coherence.ExclusiveState:
-		line.State = lineE
-	default:
-		line.State = lineS
-	}
-	if kind == mem.Read && s.cfg.CheckValues {
-		s.checkVersion("private fill read", la, line.Version)
-	}
-	return tEnd
-}
-
-// fetchOwnerForRead performs the synchronous write-back/downgrade of an E
-// or M owner so a read (private fill or remote word) observes the latest
-// data. The owner keeps an S copy. Returns the time the data reaches home.
-func (s *Simulator) fetchOwnerForRead(home int, la mem.Addr, entry *dirEntry,
-	l2line *cache.Line, t mem.Cycle) mem.Cycle {
-
-	if entry.state != coherence.ExclusiveState && entry.state != coherence.ModifiedState {
-		return t
-	}
-	owner := int(entry.owner)
-	tReq := s.mesh.Unicast(home, owner, 1, t)
-	tReq += mem.Cycle(s.cfg.L1DLatency)
-	ol := s.tiles[owner].l1d.Probe(la)
-	if ol == nil {
-		if s.cfg.VictimReplication {
-			if rl := s.tiles[owner].l2.Probe(la); rl != nil && rl.State == lineReplica {
-				// The clean-Exclusive owner's copy lives on as a local
-				// replica: the home data is current, so the downgrade is a
-				// single-flit acknowledgement and the replica persists as a
-				// shared copy.
-				tAck := s.mesh.Unicast(owner, home, 1, tReq)
-				entry.state = coherence.SharedState
-				entry.owner = -1
-				entry.sharers.Clear()
-				entry.sharers.Add(owner)
-				s.meter.DirUpdates++
-				return tAck
-			}
-		}
-		panic(fmt.Sprintf("sim: owner %d lost line %#x", owner, la))
-	}
-	flits := 1
-	if ol.Dirty {
-		flits = 9
-		l2line.Version = ol.Version
-		l2line.Dirty = true
-		ol.Dirty = false
-		s.meter.L2LineWrites++
-	}
-	ol.State = lineS
-	tAck := s.mesh.Unicast(owner, home, flits, tReq)
-	entry.state = coherence.SharedState
-	entry.owner = -1
-	entry.sharers.Clear()
-	entry.sharers.Add(owner)
-	s.meter.DirUpdates++
-	return tAck
-}
-
-// invalidateSharers invalidates every private copy except the requester's
-// (`except`, -1 for none), collecting utilization counters with the acks
-// and classifying each invalidated core. Returns the time the last ack
-// reaches home.
-func (s *Simulator) invalidateSharers(home int, la mem.Addr, entry *dirEntry,
-	l2line *cache.Line, except int, t mem.Cycle) mem.Cycle {
-
-	switch entry.state {
-	case coherence.Uncached:
-		return t
-	case coherence.ExclusiveState, coherence.ModifiedState:
-		owner := int(entry.owner)
-		if owner == except {
-			return t
-		}
-		tReq := s.mesh.Unicast(home, owner, 1, t)
-		tEnd := s.invalAck(home, la, owner, entry, l2line, tReq)
-		entry.state = coherence.Uncached
-		entry.owner = -1
-		return tEnd
-	}
-
-	// Shared state: multicast to identified sharers or broadcast on
-	// ACKwise overflow.
-	latest := t
-	if entry.sharers.Overflowed() {
-		s.bcastInvals++
-		arrivals := s.mesh.Broadcast(home, 1, t)
-		for id := range s.tiles {
-			if id == except || !s.tileHasCopy(id, la) {
-				continue
-			}
-			tEnd := s.invalAck(home, la, id, entry, l2line, arrivals[id])
-			if tEnd > latest {
-				latest = tEnd
-			}
-		}
-		keep := except >= 0 && s.tileHasCopy(except, la)
-		entry.sharers.Clear()
-		if keep {
-			entry.sharers.Add(except)
-		}
-	} else {
-		ids := append([]int16(nil), entry.sharers.Identified()...)
-		for _, id16 := range ids {
-			id := int(id16)
-			if id == except {
-				continue
-			}
-			tReq := s.mesh.Unicast(home, id, 1, t)
-			tEnd := s.invalAck(home, la, id, entry, l2line, tReq)
-			if tEnd > latest {
-				latest = tEnd
-			}
-			entry.sharers.Remove(id)
-		}
-	}
-	if entry.sharers.Count() == 0 {
-		entry.state = coherence.Uncached
-	}
-	return latest
-}
-
 // tileHasCopy reports whether a tile holds the line privately — in its L1
 // or, under victim replication, as a local L2 replica.
 func (s *Simulator) tileHasCopy(id int, la mem.Addr) bool {
@@ -454,111 +205,9 @@ func (s *Simulator) tileHasCopy(id int, la mem.Addr) bool {
 	return false
 }
 
-// invalAck invalidates one sharer's L1 copy at its arrival time and returns
-// when the acknowledgement (carrying the private utilization counter,
-// Section 3.6) reaches home.
-func (s *Simulator) invalAck(home int, la mem.Addr, id int, entry *dirEntry,
-	l2line *cache.Line, tArr mem.Cycle) mem.Cycle {
-
-	tArr += mem.Cycle(s.cfg.L1DLatency)
-	line := s.invalidateTileCopy(id, la)
-	flits := 1
-	if line.Dirty {
-		flits = 9
-		l2line.Version = line.Version
-		l2line.Dirty = true
-		s.meter.L2LineWrites++
-	}
-	tAck := s.mesh.Unicast(id, home, flits, tArr)
-	s.classifyRemoval(entry, id, line.Util, false)
-	if s.cfg.TrackUtilization {
-		s.invalHist.Record(line.Util)
-	}
-	s.cores[id].history[la] = hInvalidated
-	s.invalidations++
-	return tAck
-}
-
-// dropRequesterCopy invalidates the requester's own stale S copy when its
-// write is serviced as a remote word access, updating directory state and
-// classification exactly as a remote invalidation would.
-func (s *Simulator) dropRequesterCopy(c *coreState, la mem.Addr, entry *dirEntry) {
-	line, ok := s.tiles[c.id].l1d.Invalidate(la)
-	if !ok {
-		panic(fmt.Sprintf("sim: upgrade without an L1 copy at core %d line %#x", c.id, la))
-	}
-	entry.sharers.Remove(c.id)
-	if entry.sharers.Count() == 0 && entry.state == coherence.SharedState {
-		entry.state = coherence.Uncached
-	}
-	s.classifyRemoval(entry, c.id, line.Util, false)
-	if s.cfg.TrackUtilization {
-		s.invalHist.Record(line.Util)
-	}
-	s.invalidations++
-}
-
-// classifyRemoval applies the PCT classification when a core's private copy
-// leaves its L1 (Section 3.2) and counts demotions.
-func (s *Simulator) classifyRemoval(entry *dirEntry, id int, util uint32, eviction bool) {
-	st := entry.cls.Lookup(id)
-	was := st.Mode
-	core.Classify(s.cfg.Protocol, st, util, eviction)
-	if was == core.ModePrivate && st.Mode == core.ModeRemote {
-		s.demotions++
-	}
-	s.meter.DirUpdates++
-}
-
-// l1Evict sends the eviction notification (with the utilization counter and
-// dirty data) for a displaced L1 line. The requester does not wait on it;
-// network occupancy and directory state are updated at the eviction time.
-func (s *Simulator) l1Evict(c *coreState, victim cache.Line, t mem.Cycle) {
-	la := victim.Addr
-	home := int(victim.Home)
-	if s.cfg.VictimReplication && s.tryReplicate(c, victim, t) {
-		// The victim lives on as a local replica; the tile remains a
-		// sharer at home and no notification is sent.
-		return
-	}
-	flits := 1
-	if victim.Dirty {
-		flits = 9
-	}
-	s.mesh.Unicast(c.id, home, flits, t)
-
-	ht := &s.tiles[home]
-	entry := ht.dir[la]
-	if entry == nil {
-		panic(fmt.Sprintf("sim: eviction of line %#x without directory entry", la))
-	}
-	l2line := ht.l2.Probe(la)
-	if l2line == nil {
-		panic(fmt.Sprintf("sim: eviction of line %#x absent from inclusive L2", la))
-	}
-	if victim.Dirty {
-		l2line.Version = victim.Version
-		l2line.Dirty = true
-		s.meter.L2LineWrites++
-	}
-	if entry.owner == int16(c.id) {
-		entry.state = coherence.Uncached
-		entry.owner = -1
-	} else {
-		entry.sharers.Remove(c.id)
-		if entry.sharers.Count() == 0 && entry.state == coherence.SharedState {
-			entry.state = coherence.Uncached
-		}
-	}
-	s.classifyRemoval(entry, c.id, victim.Util, true)
-	if s.cfg.TrackUtilization {
-		s.evictHist.Record(victim.Util)
-	}
-	c.history[la] = hEvicted
-}
-
 // l2Fill brings a line into the home L2 slice from DRAM and returns the new
-// line and the time the fill completes at home.
+// line and the time the fill completes at home. A displaced L2 victim is
+// handed to the protocol's back-invalidation path.
 func (s *Simulator) l2Fill(home int, la mem.Addr, t mem.Cycle) (*cache.Line, mem.Cycle) {
 	ctrl := s.dram.ControllerOf(la)
 	mc := s.dram.TileOf(ctrl)
@@ -568,7 +217,7 @@ func (s *Simulator) l2Fill(home int, la mem.Addr, t mem.Cycle) (*cache.Line, mem
 
 	line, victim, evicted := s.tiles[home].l2.Insert(la)
 	if evicted {
-		s.l2Evict(home, victim, t)
+		s.proto.L2Evict(home, victim, t)
 	}
 	line.Version = s.dramVer[la]
 	if s.cfg.CheckValues {
@@ -576,105 +225,4 @@ func (s *Simulator) l2Fill(home int, la mem.Addr, t mem.Cycle) (*cache.Line, mem
 	}
 	s.meter.L2LineWrites++
 	return line, t3
-}
-
-// l2Evict handles an L2 slice eviction: the inclusive hierarchy
-// back-invalidates all private copies (their round trips overlap the DRAM
-// fill and are not charged to the requester), then writes dirty data back
-// to DRAM. Instruction lines have no directory entry and are dropped.
-func (s *Simulator) l2Evict(home int, victim cache.Line, t mem.Cycle) {
-	la := victim.Addr
-	if victim.State == lineReplica {
-		// A home-line fill displaced a victim-replication replica: the
-		// home directory of the replicated line must drop this tile's
-		// sharership.
-		s.replicaEvictions++
-		s.notifyReplicaEviction(home, victim, t)
-		return
-	}
-	ht := &s.tiles[home]
-	entry := ht.dir[la]
-	if entry == nil {
-		return // read-only instruction replica
-	}
-	version := victim.Version
-	dirty := victim.Dirty
-
-	backInval := func(id int) {
-		tReq := s.mesh.Unicast(home, id, 1, t)
-		tReq += mem.Cycle(s.cfg.L1DLatency)
-		line := s.invalidateTileCopy(id, la)
-		flits := 1
-		if line.Dirty {
-			flits = 9
-			dirty = true
-			if line.Version > version {
-				version = line.Version
-			}
-		}
-		s.mesh.Unicast(id, home, flits, tReq)
-		s.classifyRemoval(entry, id, line.Util, true)
-		if s.cfg.TrackUtilization {
-			s.evictHist.Record(line.Util)
-		}
-		s.cores[id].history[la] = hEvicted
-	}
-
-	switch entry.state {
-	case coherence.ExclusiveState, coherence.ModifiedState:
-		backInval(int(entry.owner))
-	case coherence.SharedState:
-		if entry.sharers.Overflowed() {
-			s.mesh.Broadcast(home, 1, t)
-			s.bcastInvals++
-			for id := range s.tiles {
-				if s.tileHasCopy(id, la) {
-					backInval(id)
-				}
-			}
-		} else {
-			ids := append([]int16(nil), entry.sharers.Identified()...)
-			for _, id := range ids {
-				backInval(int(id))
-			}
-		}
-	}
-	if dirty {
-		ctrl := s.dram.ControllerOf(la)
-		mc := s.dram.TileOf(ctrl)
-		s.mesh.Unicast(home, mc, 9, t)
-		s.dram.Write(ctrl, mem.LineBytes, t)
-		s.dramVer[la] = version
-		s.meter.L2LineReads++
-	}
-	delete(ht.dir, la)
-}
-
-// pageMove implements the R-NUCA private→shared reclassification: the
-// page's lines migrate out of the old home slice (dirty ones via DRAM).
-// Protocol state changes are immediate; the triggering access is charged
-// PageMoveLatency by the caller.
-func (s *Simulator) pageMove(recl *nuca.Reclassification, t mem.Cycle) {
-	oldHome := recl.OldHome
-	ht := &s.tiles[oldHome]
-	for i := 0; i < mem.PageBytes/mem.LineBytes; i++ {
-		la := recl.Page + mem.Addr(i*mem.LineBytes)
-		l2line := ht.l2.Probe(la)
-		if l2line == nil {
-			continue
-		}
-		entry := ht.dir[la]
-		if entry != nil {
-			s.invalidateSharers(oldHome, la, entry, l2line, -1, t)
-			delete(ht.dir, la)
-		}
-		old, _ := ht.l2.Invalidate(la)
-		ctrl := s.dram.ControllerOf(la)
-		if old.Dirty {
-			s.dram.Write(ctrl, mem.LineBytes, t)
-			s.dramVer[la] = old.Version
-			s.mesh.Unicast(oldHome, s.dram.TileOf(ctrl), 9, t)
-		}
-		s.meter.L2LineReads++
-	}
 }

@@ -1,0 +1,195 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"lacc/internal/mem"
+	"lacc/internal/sim"
+	"lacc/internal/stats"
+	"lacc/internal/trace"
+)
+
+func TestProtocolKindsRegistered(t *testing.T) {
+	kinds := sim.ProtocolKinds()
+	want := []sim.ProtocolKind{sim.ProtocolAdaptive, sim.ProtocolDragon, sim.ProtocolMESI}
+	if len(kinds) != len(want) {
+		t.Fatalf("ProtocolKinds() = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("ProtocolKinds() = %v, want %v (sorted)", kinds, want)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownProtocol(t *testing.T) {
+	cfg := sim.Default()
+	cfg.ProtocolKind = "token-coherence"
+	if _, err := sim.New(cfg); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("New with unknown protocol: err = %v, want unknown-protocol error", err)
+	}
+}
+
+func TestValidateEmptyKindMeansAdaptive(t *testing.T) {
+	cfg := protoConfig(sim.ProtocolKind(""))
+	res := runPingPong(t, cfg, 50)
+	if res.Protocol != string(sim.ProtocolAdaptive) {
+		t.Fatalf("empty ProtocolKind ran %q, want adaptive", res.Protocol)
+	}
+}
+
+func TestValidateRejectsVictimReplicationOffAdaptive(t *testing.T) {
+	for _, kind := range []sim.ProtocolKind{sim.ProtocolMESI, sim.ProtocolDragon} {
+		cfg := sim.Default()
+		cfg.ProtocolKind = kind
+		cfg.VictimReplication = true
+		if _, err := sim.New(cfg); err == nil || !strings.Contains(err.Error(), "victim replication") {
+			t.Errorf("%s + victim replication: err = %v, want rejection", kind, err)
+		}
+	}
+	cfg := sim.Default()
+	cfg.ProtocolKind = sim.ProtocolAdaptive
+	cfg.VictimReplication = true
+	if _, err := sim.New(cfg); err != nil {
+		t.Errorf("adaptive + victim replication rejected: %v", err)
+	}
+}
+
+// protoConfig returns a small 4-core machine with the full checker stack
+// (golden store + audit) enabled.
+func protoConfig(kind sim.ProtocolKind) sim.Config {
+	cfg := sim.Default()
+	cfg.Cores = 4
+	cfg.MeshWidth = 2
+	cfg.MemControllers = 2
+	cfg.ProtocolKind = kind
+	return cfg
+}
+
+// pingPongStreams builds a two-core ping-pong on one line: core 0 writes,
+// core 1 reads the fresh value, rounds times, with barriers enforcing the
+// order so the golden-store checker validates every handoff.
+func pingPongStreams(cores, rounds int) []trace.Stream {
+	const line = mem.Addr(1 << 22)
+	streams := make([]trace.Stream, cores)
+	for c := 0; c < cores; c++ {
+		var ops []mem.Access
+		for r := 0; r < rounds; r++ {
+			if c == 0 {
+				ops = append(ops, mem.Access{Kind: mem.Write, Addr: line})
+			}
+			ops = append(ops, mem.Access{Kind: mem.Barrier, Addr: mem.Addr(2 * r)})
+			if c != 0 {
+				ops = append(ops, mem.Access{Kind: mem.Read, Addr: line})
+			}
+			ops = append(ops, mem.Access{Kind: mem.Barrier, Addr: mem.Addr(2*r + 1)})
+		}
+		streams[c] = trace.FromSlice(ops)
+	}
+	return streams
+}
+
+func runPingPong(t *testing.T, cfg sim.Config, rounds int) *sim.Result {
+	t.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(pingPongStreams(cfg.Cores, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestProtocolsServeFreshData runs the producer-consumer ping-pong under
+// every registered protocol with the golden-store checker and the final
+// audit enabled: any stale read or directory/cache inconsistency fails the
+// run.
+func TestProtocolsServeFreshData(t *testing.T) {
+	for _, kind := range sim.ProtocolKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			res := runPingPong(t, protoConfig(kind), 200)
+			if res.Protocol != string(kind) {
+				t.Errorf("Result.Protocol = %q, want %q", res.Protocol, kind)
+			}
+			if res.DataAccesses == 0 {
+				t.Error("no data accesses recorded")
+			}
+		})
+	}
+}
+
+// TestProtocolWritePolicies pins the qualitative signatures that tell the
+// three protocols apart on the same sharing-heavy trace: MESI invalidates
+// and never updates or word-accesses; Dragon updates instead of
+// invalidating; the adaptive protocol (at its default PCT) services
+// low-locality sharers with word accesses.
+func TestProtocolWritePolicies(t *testing.T) {
+	results := map[sim.ProtocolKind]*sim.Result{}
+	for _, kind := range sim.ProtocolKinds() {
+		results[kind] = runPingPong(t, protoConfig(kind), 200)
+	}
+
+	mesi := results[sim.ProtocolMESI]
+	if mesi.WordReads+mesi.WordWrites != 0 {
+		t.Errorf("MESI word accesses = %d, want 0", mesi.WordReads+mesi.WordWrites)
+	}
+	if mesi.UpdateWrites != 0 {
+		t.Errorf("MESI update writes = %d, want 0", mesi.UpdateWrites)
+	}
+	if mesi.Promotions+mesi.Demotions != 0 {
+		t.Errorf("MESI classifier transitions = %d, want 0", mesi.Promotions+mesi.Demotions)
+	}
+	if mesi.BroadcastInvalidations != 0 {
+		t.Errorf("full-map MESI broadcast invalidations = %d, want 0", mesi.BroadcastInvalidations)
+	}
+	if mesi.Invalidations == 0 {
+		t.Error("MESI ping-pong produced no invalidations")
+	}
+
+	dragon := results[sim.ProtocolDragon]
+	if dragon.UpdateWrites == 0 {
+		t.Error("Dragon ping-pong produced no update writes")
+	}
+	if dragon.WordReads+dragon.WordWrites != 0 {
+		t.Errorf("Dragon word accesses = %d, want 0", dragon.WordReads+dragon.WordWrites)
+	}
+	// Updates replace invalidations: the only invalidations left come from
+	// one-time R-NUCA page moves, far below MESI's per-write count.
+	if dragon.Invalidations >= mesi.Invalidations/4 {
+		t.Errorf("Dragon invalidations = %d, want far below MESI's %d",
+			dragon.Invalidations, mesi.Invalidations)
+	}
+	dragonSharing := dragon.L1D.Misses[stats.MissSharing]
+	mesiSharing := mesi.L1D.Misses[stats.MissSharing]
+	if dragonSharing >= mesiSharing/4 {
+		t.Errorf("Dragon sharing misses = %d, want far below MESI's %d",
+			dragonSharing, mesiSharing)
+	}
+
+	adaptive := results[sim.ProtocolAdaptive]
+	if adaptive.WordReads+adaptive.WordWrites == 0 {
+		t.Error("adaptive ping-pong produced no remote word accesses")
+	}
+	if adaptive.UpdateWrites != 0 {
+		t.Errorf("adaptive update writes = %d, want 0", adaptive.UpdateWrites)
+	}
+}
+
+// TestProtocolsDeterministic pins that re-running the same trace under the
+// same protocol reproduces identical results (the golden-test contract
+// extended to the new protocols).
+func TestProtocolsDeterministic(t *testing.T) {
+	for _, kind := range sim.ProtocolKinds() {
+		a := runPingPong(t, protoConfig(kind), 100)
+		b := runPingPong(t, protoConfig(kind), 100)
+		if a.CompletionCycles != b.CompletionCycles || a.LinkFlits != b.LinkFlits {
+			t.Errorf("%s: completion %d/%d flits %d/%d across identical runs",
+				kind, a.CompletionCycles, b.CompletionCycles, a.LinkFlits, b.LinkFlits)
+		}
+	}
+}

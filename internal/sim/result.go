@@ -8,6 +8,9 @@ import (
 
 // Result is the outcome of one simulation run.
 type Result struct {
+	// Protocol names the coherence protocol that produced this result
+	// (the registered ProtocolKind).
+	Protocol string
 	// CompletionCycles is the parallel-region completion time: the maximum
 	// finish time over all cores.
 	CompletionCycles mem.Cycle
@@ -36,6 +39,9 @@ type Result struct {
 	WordWrites             uint64 // writes serviced as remote word accesses
 	Invalidations          uint64
 	BroadcastInvalidations uint64
+	// UpdateWrites counts per-sharer word updates pushed by a write-update
+	// protocol (zero under invalidation-based protocols).
+	UpdateWrites uint64
 
 	// Network and DRAM activity.
 	RouterFlits, LinkFlits, Messages uint64

@@ -101,6 +101,7 @@ type lockState struct {
 // per run).
 type Simulator struct {
 	cfg   Config
+	proto Protocol
 	mesh  *network.Mesh
 	dram  *dram.Model
 	nuca  *nuca.Placement
@@ -164,17 +165,8 @@ func New(cfg Config) (*Simulator, error) {
 			dir: make(map[mem.Addr]*dirEntry, 1024),
 		}
 	}
+	s.proto = newProtocol(s)
 	return s, nil
-}
-
-// newDirEntry allocates a directory entry with a fresh classifier (all
-// cores initially private, Figure 4).
-func (s *Simulator) newDirEntry() *dirEntry {
-	return &dirEntry{
-		sharers: coherence.NewSharerSet(s.cfg.AckwisePointers),
-		owner:   -1,
-		cls:     core.NewClassifier(s.cfg.Cores, s.cfg.ClassifierK),
-	}
 }
 
 // Run executes one stream per core to completion and returns the aggregated
@@ -217,7 +209,7 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 		switch a.Kind {
 		case mem.Read, mem.Write:
 			s.instrFetch(c, a.Gap)
-			s.dataAccess(c, a.Kind, a.Addr)
+			s.proto.DataAccess(c, a.Kind, a.Addr)
 			heap.Push(&s.runQ, id)
 		case mem.Barrier:
 			s.barrierArrive(c, a.Addr)
@@ -354,6 +346,7 @@ func (s *Simulator) lockRelease(c *coreState, id uint64) {
 // collect aggregates per-core statistics into a Result.
 func (s *Simulator) collect() *Result {
 	r := &Result{
+		Protocol:               s.proto.Name(),
 		Promotions:             s.promotions,
 		Demotions:              s.demotions,
 		WordReads:              s.wordReads,
@@ -397,6 +390,7 @@ func (s *Simulator) collect() *Result {
 	s.meter.LinkFlits = s.mesh.LinkFlits
 	r.Meter = s.meter
 	r.Energy = s.meter.Breakdown(s.cfg.Energy)
+	s.proto.Finalize(r)
 	return r
 }
 

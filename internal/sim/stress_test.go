@@ -68,6 +68,66 @@ func TestRandomTracesUpholdCoherence(t *testing.T) {
 	}
 }
 
+// TestRandomTracesUpholdCoherenceAllProtocols repeats the random-trace
+// stress under every registered protocol with tiny caches (maximizing
+// evictions, back-invalidations and write races). The golden-store checker
+// validates every read and the final audit cross-checks directory and
+// cache state, so completion is the property.
+func TestRandomTracesUpholdCoherenceAllProtocols(t *testing.T) {
+	const cores = 4
+	for _, kind := range sim.ProtocolKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			run := func(seed uint64) bool {
+				cfg := sim.Default()
+				cfg.Cores = cores
+				cfg.MeshWidth = 2
+				cfg.MemControllers = 2
+				cfg.L1DSizeKB = 1
+				cfg.L1ISizeKB = 1
+				cfg.L2SizeKB = 8
+				cfg.ProtocolKind = kind
+
+				state := seed
+				next := func() uint64 {
+					state = state*6364136223846793005 + 1442695040888963407
+					return state >> 33
+				}
+				streams := make([]trace.Stream, cores)
+				for c := 0; c < cores; c++ {
+					var ops []mem.Access
+					for i := 0; i < 400; i++ {
+						r := next()
+						addr := base + mem.Addr(r%256)*64
+						kindOp := mem.Read
+						if r%5 == 0 {
+							kindOp = mem.Write
+						}
+						ops = append(ops, mem.Access{Kind: kindOp, Addr: addr, Gap: uint32(r % 7)})
+						if i%100 == 99 {
+							ops = append(ops, mem.Access{Kind: mem.Barrier, Addr: mem.Addr(i / 100)})
+						}
+					}
+					streams[c] = trace.FromSlice(ops)
+				}
+				s, err := sim.New(cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				res, err := s.Run(streams)
+				if err != nil {
+					t.Fatalf("Run(seed=%d): %v", seed, err)
+				}
+				return res.DataAccesses == uint64(cores*400)
+			}
+			if err := quick.Check(run, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 func TestResultHelperEdgeCases(t *testing.T) {
 	var r sim.Result
 	if got := r.Imbalance(); got != 1 {

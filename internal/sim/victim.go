@@ -18,6 +18,10 @@ import (
 // freshness. The paper's critique — every victim is replicated,
 // irrespective of whether it will be reused — is observable here as local
 // L2 slice pressure and replica evictions.
+//
+// Victim replication rides on the adaptive protocol's directory walk
+// (Config.Validate rejects it under other protocols), so these helpers are
+// adaptiveProtocol methods.
 
 // isReplica approves only replica lines for displacement: replicas must
 // never evict home lines.
@@ -27,7 +31,7 @@ func isReplica(l *cache.Line) bool { return l.State == lineReplica }
 // L2 slice. On success the home directory is left untouched (the tile is
 // still a sharer) and no message is sent. It reports whether the victim
 // was absorbed.
-func (s *Simulator) tryReplicate(c *coreState, victim cache.Line, t mem.Cycle) bool {
+func (s *adaptiveProtocol) tryReplicate(c *coreState, victim cache.Line, t mem.Cycle) bool {
 	if victim.Dirty || (victim.State != lineS && victim.State != lineE) {
 		return false // only clean data is replicated
 	}
@@ -56,7 +60,7 @@ func (s *Simulator) tryReplicate(c *coreState, victim cache.Line, t mem.Cycle) b
 // replicaRead services an L1 read miss from a local replica, if present:
 // the line moves back into the L1 (the replica way is freed) at local L2
 // cost, with no network traffic. It reports whether the miss was absorbed.
-func (s *Simulator) replicaRead(c *coreState, addr mem.Addr) bool {
+func (s *adaptiveProtocol) replicaRead(c *coreState, addr mem.Addr) bool {
 	la := mem.LineOf(addr)
 	l2 := s.tiles[c.id].l2
 	rl := l2.Probe(la)
@@ -72,7 +76,7 @@ func (s *Simulator) replicaRead(c *coreState, addr mem.Addr) bool {
 	l1 := s.tiles[c.id].l1d
 	line, victim, evicted := l1.Insert(la)
 	if evicted {
-		s.l1Evict(c, victim, t)
+		s.L1Evict(c, victim, t)
 	}
 	s.meter.L1DWrites++ // line fill
 	line.State = lineS
@@ -94,7 +98,7 @@ func (s *Simulator) replicaRead(c *coreState, addr mem.Addr) bool {
 // dropOwnReplica invalidates the requester's local replica on a write miss
 // (the write request carries the drop to the home, costing no extra
 // message) and returns its frozen utilization counter.
-func (s *Simulator) dropOwnReplica(c *coreState, la mem.Addr) (util uint32, had bool) {
+func (s *adaptiveProtocol) dropOwnReplica(c *coreState, la mem.Addr) (util uint32, had bool) {
 	if !s.cfg.VictimReplication {
 		return 0, false
 	}
@@ -110,7 +114,7 @@ func (s *Simulator) dropOwnReplica(c *coreState, la mem.Addr) (util uint32, had 
 // dropSharershipAtHome applies a replica drop at the home directory: the
 // tile stops being a sharer (or, for a clean-Exclusive replica, stops
 // being the registered owner) and its frozen utilization classifies it.
-func (s *Simulator) dropSharershipAtHome(entry *dirEntry, tile int, util uint32) {
+func (s *adaptiveProtocol) dropSharershipAtHome(entry *dirEntry, tile int, util uint32) {
 	if (entry.state == coherence.ExclusiveState || entry.state == coherence.ModifiedState) &&
 		int(entry.owner) == tile {
 		entry.state = coherence.Uncached
@@ -131,7 +135,7 @@ func (s *Simulator) dropSharershipAtHome(entry *dirEntry, tile int, util uint32)
 // the tile stops being a sharer and the frozen utilization classifies the
 // core, exactly as an L1 eviction notification would (replicas are always
 // clean, so the message is a single flit).
-func (s *Simulator) notifyReplicaEviction(tile int, victim cache.Line, t mem.Cycle) {
+func (s *adaptiveProtocol) notifyReplicaEviction(tile int, victim cache.Line, t mem.Cycle) {
 	la := victim.Addr
 	home := int(victim.Home)
 	s.mesh.Unicast(tile, home, 1, t)

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lacc/internal/mem"
+)
+
+// FuzzParseTrace feeds arbitrary bytes to the trace-file parser. The
+// contract under test: ReadFile either succeeds or returns an error
+// wrapping ErrBadTrace — it must never panic, hang or allocate without
+// bound — and anything it accepts must survive a write/read round trip
+// unchanged (the parse is canonical).
+func FuzzParseTrace(f *testing.F) {
+	// Seed corpus: the valid encodings the unit tests exercise...
+	var valid bytes.Buffer
+	if err := WriteFile(&valid, sampleStreams()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var dense bytes.Buffer
+	accs := make([]mem.Access, 64)
+	for i := range accs {
+		accs[i] = mem.Access{Kind: mem.Read, Addr: mem.Addr(1<<22 + i*8), Gap: uint32(i)}
+	}
+	if err := WriteFile(&dense, [][]mem.Access{accs, nil}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dense.Bytes())
+	// ...and the malformed shapes from TestReadFileRejectsGarbage.
+	f.Add([]byte{})
+	f.Add([]byte("NOTMAGIC"))
+	f.Add([]byte(Magic))
+	f.Add([]byte(Magic + "\x01"))
+	f.Add([]byte(Magic + "\x01\x01\x09"))
+	f.Add(append([]byte(Magic), 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		streams, err := ReadFile(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("ReadFile error does not wrap ErrBadTrace: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFile(&buf, streams); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := ReadFile(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded trace failed: %v", err)
+		}
+		if len(again) != len(streams) {
+			t.Fatalf("round trip changed core count: %d -> %d", len(streams), len(again))
+		}
+		for c := range streams {
+			if len(again[c]) != len(streams[c]) {
+				t.Fatalf("core %d: round trip changed length %d -> %d",
+					c, len(streams[c]), len(again[c]))
+			}
+			for i := range streams[c] {
+				if again[c][i] != streams[c][i] {
+					t.Fatalf("core %d access %d: %+v -> %+v",
+						c, i, streams[c][i], again[c][i])
+				}
+			}
+		}
+	})
+}
+
+// TestReadFileMalformedRecords is the regression companion to
+// FuzzParseTrace: every way a record can be malformed — truncation at each
+// field boundary, an invalid kind, an overflowing gap — must surface as an
+// ErrBadTrace error, never a panic or a silent partial parse.
+func TestReadFileMalformedRecords(t *testing.T) {
+	var valid bytes.Buffer
+	if err := WriteFile(&valid, sampleStreams()); err != nil {
+		t.Fatal(err)
+	}
+	full := valid.Bytes()
+
+	cases := map[string][]byte{
+		// Truncate a valid file at every byte boundary inside the records.
+		"kind only":     append(append([]byte{}, []byte(Magic)...), 0x01, 0x02, byte(mem.Read)),
+		"missing addr":  append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Read), 0x03),
+		"kind too big":  append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Unlock) + 1, 0x00, 0x00),
+		"gap overflows": append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Read), 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f, 0x00),
+		"count without records": append(append([]byte{}, []byte(Magic)...), 0x01, 0x7f),
+	}
+	for i := len(Magic) + 1; i < len(full); i += 3 {
+		cases[string(rune(i))] = full[:i]
+	}
+	for name, data := range cases {
+		if _, err := ReadFile(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%q: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
