@@ -64,9 +64,9 @@ func BenchmarkFig1And2(b *testing.B) {
 }
 
 func BenchmarkFig8And9Sweep(b *testing.B) {
-	o := benchOptions("streamcluster", "matmul")
+	b.ReportAllocs() // sweep body shared with the benchcore regression harness
 	for i := 0; i < b.N; i++ {
-		sw, err := experiments.RunPCTSweep(o, []int{1, 4, 8})
+		sw, err := experiments.CoreBenchPCTSweep()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,9 +133,9 @@ func BenchmarkFig14OneWay(b *testing.B) {
 }
 
 func BenchmarkAckwiseVsFullmap(b *testing.B) {
-	o := benchOptions("radix")
+	b.ReportAllocs() // body shared with the benchcore regression harness
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AckwiseComparison(o, nil); err != nil {
+		if _, err := experiments.CoreBenchAckwise(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -144,6 +144,7 @@ func BenchmarkAckwiseVsFullmap(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed (accesses per
 // second) on one representative run.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	cfg := lacc.DefaultConfig()
 	cfg.Cores = 16
 	cfg.MeshWidth = 4

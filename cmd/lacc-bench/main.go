@@ -42,6 +42,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		quick     = flag.Bool("quick", false, "reduced machine (16 cores, scale 0.25) for a fast pass")
 		timing    = flag.Bool("time", true, "report wall-clock time per experiment")
+		jsonOut   = flag.Bool("json", false, "benchcore: emit results as JSON to stdout")
+		checkFile = flag.String("check-bench", "", "benchcore: compare allocs/op against this baseline JSON, exit nonzero on >20% regression")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 
 	requested := flag.Args()
 	if len(requested) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: lacc-bench [flags] <experiment>...\nexperiments: %s, all\n",
+		fmt.Fprintf(os.Stderr, "usage: lacc-bench [flags] <experiment>...\nexperiments: %s, all, benchcore\n",
 			strings.Join(allExperiments, ", "))
 		os.Exit(2)
 	}
@@ -82,7 +84,7 @@ func main() {
 		list = append(list, r)
 	}
 
-	r := runner{opts: opts, timing: *timing}
+	r := runner{opts: opts, timing: *timing, jsonOut: *jsonOut, checkFile: *checkFile}
 	for _, name := range list {
 		if err := r.run(name); err != nil {
 			fatal(err)
@@ -93,8 +95,10 @@ func main() {
 
 // runner caches the shared PCT sweep and Figure 1/2 run across experiments.
 type runner struct {
-	opts   experiments.Options
-	timing bool
+	opts      experiments.Options
+	timing    bool
+	jsonOut   bool
+	checkFile string
 
 	sweep8  *experiments.PCTSweep // PCT 1..8 (figures 8 and 9)
 	sweep11 *experiments.PCTSweep // extended sweep (figure 11)
@@ -186,6 +190,10 @@ func (r *runner) run(name string) error {
 		if p, err = experiments.PerformanceScaling(r.opts, nil); err == nil {
 			err = p.Render(os.Stdout)
 		}
+	case "benchcore":
+		// The benchmark-regression harness (see benchcore.go). Not part of
+		// `all`: it re-runs simulations many times to get stable numbers.
+		err = runBenchCore(r.jsonOut, r.checkFile)
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %s, all)",
 			name, strings.Join(allExperiments, ", "))

@@ -49,6 +49,17 @@ func TestGoldenRegression(t *testing.T) {
 		{"matmul", lacc.ProtocolDragon, 1149359, 350016, 18, 1993145},
 		{"canneal", lacc.ProtocolDragon, 618705, 20540, 753, 646420},
 	}
+	// goldenRow is the comparable shape of one table row. Comparing whole
+	// rows (not field by field) makes a regression print the complete
+	// got/want row, so a CI log alone is enough to see every drifted field
+	// and to regenerate the table entry.
+	type goldenRow struct {
+		Protocol   string
+		Completion lacc.Cycle
+		Accesses   uint64
+		Activity   uint64
+		LinkFlits  uint64
+	}
 	for _, g := range golden {
 		g := g
 		t.Run(g.workload+"/"+string(g.protocol), func(t *testing.T) {
@@ -62,20 +73,23 @@ func TestGoldenRegression(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Protocol != string(g.protocol) {
-				t.Errorf("protocol = %q, golden %q", res.Protocol, g.protocol)
+			got := goldenRow{
+				Protocol:   res.Protocol,
+				Completion: res.CompletionCycles,
+				Accesses:   res.DataAccesses,
+				Activity:   res.WordReads + res.WordWrites + res.UpdateWrites,
+				LinkFlits:  res.LinkFlits,
 			}
-			if res.CompletionCycles != g.completion {
-				t.Errorf("completion = %d, golden %d", res.CompletionCycles, g.completion)
+			want := goldenRow{
+				Protocol:   string(g.protocol),
+				Completion: g.completion,
+				Accesses:   g.accesses,
+				Activity:   g.activity,
+				LinkFlits:  g.linkFlits,
 			}
-			if res.DataAccesses != g.accesses {
-				t.Errorf("accesses = %d, golden %d", res.DataAccesses, g.accesses)
-			}
-			if got := res.WordReads + res.WordWrites + res.UpdateWrites; got != g.activity {
-				t.Errorf("protocol activity = %d, golden %d", got, g.activity)
-			}
-			if res.LinkFlits != g.linkFlits {
-				t.Errorf("link flits = %d, golden %d", res.LinkFlits, g.linkFlits)
+			if got != want {
+				t.Errorf("golden row drifted for %s/%s:\n got: %+v\nwant: %+v",
+					g.workload, g.protocol, got, want)
 			}
 		})
 	}

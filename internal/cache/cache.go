@@ -15,30 +15,38 @@ import (
 	"lacc/internal/mem"
 )
 
-// Line is one cache line's tag-array entry.
+// Line is one cache line's tag-array entry. Fields are ordered
+// widest-first so the struct packs into 48 bytes (56 with the original
+// ordering); the tag arrays are the bulk of a simulator's memory, so
+// padding here is multiplied by every way of every cache of every tile.
 type Line struct {
-	Valid bool
-	Dirty bool
-	// State is the coherence state, owned by the protocol layer; the cache
-	// only distinguishes Valid from free ways.
-	State uint8
 	// Addr is the line-aligned address held by this way.
 	Addr mem.Addr
-	// Util is the private utilization counter of Figure 5: the number of
-	// accesses since the line was brought into this cache.
-	Util uint32
 	// LastAccess is the last-access timestamp of Figure 5, used by the
 	// Timestamp-based classifier.
 	LastAccess mem.Cycle
 	// Version is the data version observed when the copy was made; the
 	// simulator's checker compares it against the golden store.
 	Version uint64
-	// Home caches the tile the line's directory lives on, so evictions know
-	// where to send the notification without re-running placement.
-	Home int16
 
 	lru uint64
+
+	// Util is the private utilization counter of Figure 5: the number of
+	// accesses since the line was brought into this cache.
+	Util uint32
+	// Home caches the tile the line's directory lives on, so evictions know
+	// where to send the notification without re-running placement.
+	Home  int16
+	Valid bool
+	Dirty bool
+	// State is the coherence state, owned by the protocol layer; the cache
+	// only distinguishes Valid from free ways.
+	State uint8
 }
+
+// tagInvalid marks a free way in the packed tag array. No real line address
+// collides with it: addresses are 48-bit.
+const tagInvalid = ^mem.Addr(0)
 
 // Cache is a set-associative cache with LRU replacement. The zero value is
 // not usable; construct with New.
@@ -46,7 +54,12 @@ type Cache struct {
 	sets  int
 	ways  int
 	lines []Line // sets*ways, row-major by set
-	tick  uint64
+	// tags packs each way's line address (tagInvalid for free ways) into a
+	// contiguous array so the probe loop scans one cache line of tags
+	// instead of striding across full Line records. It mirrors
+	// lines[i].Valid/Addr and is maintained by Insert/TryInsert/Invalidate.
+	tags []mem.Addr
+	tick uint64
 
 	// Evictions counts lines displaced by Insert.
 	Evictions uint64
@@ -67,7 +80,11 @@ func New(sizeBytes, ways int) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+	c := &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways), tags: make([]mem.Addr, sets*ways)}
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
+	}
+	return c
 }
 
 // Sets returns the number of sets.
@@ -86,12 +103,11 @@ func (c *Cache) SetOf(a mem.Addr) int {
 // Touch.
 func (c *Cache) Probe(a mem.Addr) *Line {
 	la := mem.LineOf(a)
-	set := c.SetOf(a)
-	base := set * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.Valid && l.Addr == la {
-			return l
+	base := c.SetOf(a) * c.ways
+	tags := c.tags[base : base+c.ways]
+	for i, tag := range tags {
+		if tag == la {
+			return &c.lines[base+i]
 		}
 	}
 	return nil
@@ -116,12 +132,12 @@ func (c *Cache) Insert(a mem.Addr) (l *Line, victim Line, evicted bool) {
 	var victimIdx = -1
 	var victimLRU uint64 = ^uint64(0)
 	for i := 0; i < c.ways; i++ {
-		w := &c.lines[base+i]
-		if !w.Valid {
+		if c.tags[base+i] == tagInvalid {
 			victimIdx = i
 			evicted = false
 			goto place
 		}
+		w := &c.lines[base+i]
 		if w.Addr == la {
 			panic(fmt.Sprintf("cache: Insert of resident line %#x", la))
 		}
@@ -136,6 +152,7 @@ func (c *Cache) Insert(a mem.Addr) (l *Line, victim Line, evicted bool) {
 place:
 	l = &c.lines[base+victimIdx]
 	*l = Line{Valid: true, Addr: la}
+	c.tags[base+victimIdx] = la
 	return l, victim, evicted
 }
 
@@ -152,9 +169,10 @@ func (c *Cache) TryInsert(a mem.Addr, canEvict func(*Line) bool) (l *Line, victi
 	var victimLRU uint64 = ^uint64(0)
 	for i := 0; i < c.ways; i++ {
 		w := &c.lines[base+i]
-		if !w.Valid {
+		if c.tags[base+i] == tagInvalid {
 			l = w
 			*l = Line{Valid: true, Addr: la}
+			c.tags[base+i] = la
 			return l, Line{}, false
 		}
 		if w.Addr == la {
@@ -172,15 +190,22 @@ func (c *Cache) TryInsert(a mem.Addr, canEvict func(*Line) bool) (l *Line, victi
 	c.Evictions++
 	l = &c.lines[base+victimIdx]
 	*l = Line{Valid: true, Addr: la}
+	c.tags[base+victimIdx] = la
 	return l, victim, true
 }
 
 // Invalidate removes a's line if present and returns a copy of it.
 func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
-	if l := c.Probe(a); l != nil {
-		old := *l
-		*l = Line{}
-		return old, true
+	la := mem.LineOf(a)
+	base := c.SetOf(a) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == la {
+			l := &c.lines[base+i]
+			old := *l
+			*l = Line{}
+			c.tags[base+i] = tagInvalid
+			return old, true
+		}
 	}
 	return Line{}, false
 }
@@ -190,7 +215,7 @@ func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
 func (c *Cache) HasInvalidWay(a mem.Addr) bool {
 	base := c.SetOf(a) * c.ways
 	for i := 0; i < c.ways; i++ {
-		if !c.lines[base+i].Valid {
+		if c.tags[base+i] == tagInvalid {
 			return true
 		}
 	}

@@ -1,0 +1,64 @@
+package coherence
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bitmap over small non-negative integers (core
+// ids), stored as 64-bit words. It is the flat full-map sharer
+// representation of the simulator core: membership tests, population counts
+// and iteration are branch-light word operations instead of pointer-chasing
+// list walks. A BitSet never grows; construct it with NewBitSet (or wrap an
+// existing word slice) with capacity for the largest id it must hold.
+type BitSet []uint64
+
+// NewBitSet returns a BitSet able to hold ids in [0, n).
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Cap returns the number of ids the set can hold.
+func (b BitSet) Cap() int { return len(b) * 64 }
+
+// Add sets bit i. Adding an already-set bit is a no-op.
+func (b BitSet) Add(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Remove clears bit i. Removing an unset bit is a no-op.
+func (b BitSet) Remove(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether bit i is set.
+func (b BitSet) Test(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of set bits (population count).
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b BitSet) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear resets every bit.
+func (b BitSet) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b BitSet) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1 // drop the lowest set bit
+		}
+	}
+}

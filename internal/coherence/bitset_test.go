@@ -1,0 +1,107 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitSetExhaustiveSmall checks Add/Remove/Test/Count against a boolean
+// reference model for every id over all insertion orders of small sets.
+func TestBitSetExhaustiveSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 63, 64, 65, 127, 128, 130} {
+		b := NewBitSet(n)
+		if b.Cap() < n {
+			t.Fatalf("NewBitSet(%d).Cap() = %d", n, b.Cap())
+		}
+		ref := make([]bool, n)
+		// Add every id, verifying incremental state after each step.
+		for i := 0; i < n; i++ {
+			b.Add(i)
+			ref[i] = true
+			checkBitSet(t, b, ref)
+		}
+		// Double-add is a no-op.
+		for i := 0; i < n; i++ {
+			b.Add(i)
+			checkBitSet(t, b, ref)
+		}
+		// Remove in a different order than insertion.
+		for i := n - 1; i >= 0; i-- {
+			b.Remove(i)
+			ref[i] = false
+			checkBitSet(t, b, ref)
+		}
+		if b.Any() {
+			t.Fatalf("n=%d: empty set reports Any", n)
+		}
+	}
+}
+
+func checkBitSet(t *testing.T, b BitSet, ref []bool) {
+	t.Helper()
+	count := 0
+	for i, want := range ref {
+		if got := b.Test(i); got != want {
+			t.Fatalf("Test(%d) = %v, want %v", i, got, want)
+		}
+		if want {
+			count++
+		}
+	}
+	if got := b.Count(); got != count {
+		t.Fatalf("Count() = %d, want %d", got, count)
+	}
+	if got := b.Any(); got != (count > 0) {
+		t.Fatalf("Any() = %v with count %d", got, count)
+	}
+	var visited []int
+	b.ForEach(func(i int) { visited = append(visited, i) })
+	if len(visited) != count {
+		t.Fatalf("ForEach visited %d ids, want %d", len(visited), count)
+	}
+	prev := -1
+	for _, i := range visited {
+		if i <= prev {
+			t.Fatalf("ForEach not ascending: %v", visited)
+		}
+		prev = i
+		if !ref[i] {
+			t.Fatalf("ForEach visited unset id %d", i)
+		}
+	}
+}
+
+func TestBitSetClear(t *testing.T) {
+	b := NewBitSet(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		b.Add(i)
+	}
+	b.Clear()
+	if b.Any() || b.Count() != 0 {
+		t.Fatalf("Clear left bits set: count=%d", b.Count())
+	}
+	b.ForEach(func(i int) { t.Fatalf("ForEach visited %d after Clear", i) })
+}
+
+// TestBitSetRandomized drives a larger random add/remove sequence against
+// the map-based reference model.
+func TestBitSetRandomized(t *testing.T) {
+	const n = 320
+	rng := rand.New(rand.NewSource(42))
+	b := NewBitSet(n)
+	ref := make([]bool, n)
+	for step := 0; step < 20000; step++ {
+		i := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			b.Add(i)
+			ref[i] = true
+		} else {
+			b.Remove(i)
+			ref[i] = false
+		}
+		if step%1000 == 0 {
+			checkBitSet(t, b, ref)
+		}
+	}
+	checkBitSet(t, b, ref)
+}

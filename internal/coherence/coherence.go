@@ -40,13 +40,32 @@ func (s State) String() string {
 	}
 }
 
+// Inline membership-bitmap geometry: core ids below bitmapCores get O(1)
+// Contains/Add via the bitmap; larger ids fall back to scanning the identity
+// list (correct for any machine size, fast for every configuration the
+// paper evaluates).
+const (
+	bitmapWords = 4
+	bitmapCores = bitmapWords * 64
+)
+
 // SharerSet is an ACKwise-p sharer list: at most p identified sharers plus a
 // count of unidentified ones. The zero value is unusable; construct with
-// NewSharerSet.
+// NewSharerSet (self-allocating) or NewSharerSetBacked (caller-provided
+// identity storage, used by the simulator's arena-backed flat directory).
+//
+// The identity list preserves insertion order with swap-removal, exactly
+// like the legacy ListSharerSet: the simulator's mesh contention model is
+// order-sensitive, so sharer iteration order is part of the simulation's
+// deterministic behavior and must not change with the representation. An
+// inline bitmap (ids < 256) accelerates membership tests to O(1); for a
+// full-map directory (p >= cores) that turns the per-access Add/Contains
+// path from an O(cores) scan into a word operation.
 type SharerSet struct {
-	ids     []int16
+	ids     []int16               // insertion-ordered identified sharers, cap p
+	bits    [bitmapWords]uint64   // membership bitmap of identified ids < bitmapCores
 	unknown int32
-	p       int
+	p       int32
 }
 
 // NewSharerSet returns a sharer set with p hardware pointers. For a full-map
@@ -55,11 +74,38 @@ func NewSharerSet(p int) SharerSet {
 	if p <= 0 {
 		panic("coherence: sharer set needs at least one pointer")
 	}
-	return SharerSet{ids: make([]int16, 0, p), p: p}
+	return SharerSet{ids: make([]int16, 0, p), p: int32(p)}
+}
+
+// NewSharerSetBacked returns a sharer set with p hardware pointers whose
+// identity list lives in backing (cap(backing) must be at least p). The
+// simulator's flat directory hands out arena slices here so directory
+// entries allocate nothing.
+func NewSharerSetBacked(p int, backing []int16) SharerSet {
+	if p <= 0 {
+		panic("coherence: sharer set needs at least one pointer")
+	}
+	if cap(backing) < p {
+		panic(fmt.Sprintf("coherence: backing capacity %d below %d pointers", cap(backing), p))
+	}
+	return SharerSet{ids: backing[:0], p: int32(p)}
+}
+
+// Rebind moves the identity list into backing (cap(backing) must be at
+// least p), preserving contents. The flat directory uses it when a table
+// grow relocates an entry to a new arena slot.
+func (s *SharerSet) Rebind(backing []int16) {
+	if cap(backing) < int(s.p) {
+		panic(fmt.Sprintf("coherence: backing capacity %d below %d pointers", cap(backing), s.p))
+	}
+	n := len(s.ids)
+	nb := backing[:n]
+	copy(nb, s.ids)
+	s.ids = nb
 }
 
 // Pointers returns the number of hardware pointers p.
-func (s *SharerSet) Pointers() int { return s.p }
+func (s *SharerSet) Pointers() int { return int(s.p) }
 
 // Add records core as a sharer. The protocol layer must only add cores that
 // are not already sharers (an L1 miss implies no copy). When all p pointers
@@ -68,8 +114,11 @@ func (s *SharerSet) Add(core int) {
 	if s.Contains(core) {
 		panic(fmt.Sprintf("coherence: Add of existing sharer %d", core))
 	}
-	if len(s.ids) < s.p {
+	if len(s.ids) < int(s.p) {
 		s.ids = append(s.ids, int16(core))
+		if core < bitmapCores {
+			BitSet(s.bits[:]).Add(core)
+		}
 		return
 	}
 	s.unknown++
@@ -79,12 +128,18 @@ func (s *SharerSet) Add(core int) {
 // the core was not an identified sharer it must be one of the unidentified
 // ones, so the count is decremented.
 func (s *SharerSet) Remove(core int) {
-	for i, id := range s.ids {
-		if id == int16(core) {
-			s.ids[i] = s.ids[len(s.ids)-1]
-			s.ids = s.ids[:len(s.ids)-1]
-			return
+	if s.Contains(core) {
+		for i, id := range s.ids {
+			if id == int16(core) {
+				s.ids[i] = s.ids[len(s.ids)-1]
+				s.ids = s.ids[:len(s.ids)-1]
+				break
+			}
 		}
+		if core < bitmapCores {
+			BitSet(s.bits[:]).Remove(core)
+		}
+		return
 	}
 	if s.unknown > 0 {
 		s.unknown--
@@ -97,6 +152,9 @@ func (s *SharerSet) Remove(core int) {
 // answer for unidentified sharers is unknown; callers needing membership
 // must consult MaybeSharer.
 func (s *SharerSet) Contains(core int) bool {
+	if core >= 0 && core < bitmapCores {
+		return BitSet(s.bits[:]).Test(core)
+	}
 	for _, id := range s.ids {
 		if id == int16(core) {
 			return true
@@ -126,6 +184,88 @@ func (s *SharerSet) Identified() []int16 { return s.ids }
 
 // Clear empties the set (after a full invalidation completes).
 func (s *SharerSet) Clear() {
+	s.ids = s.ids[:0]
+	BitSet(s.bits[:]).Clear()
+	s.unknown = 0
+}
+
+// ListSharerSet is the legacy slice-scanning sharer set: a plain []int16
+// identity list with linear membership tests. It is retained as the simple
+// reference implementation that the bitmap-accelerated SharerSet is
+// fuzz-checked against (see sharerset_fuzz_test.go); the simulator itself
+// uses SharerSet.
+type ListSharerSet struct {
+	ids     []int16
+	unknown int32
+	p       int
+}
+
+// NewListSharerSet returns a legacy sharer set with p hardware pointers.
+func NewListSharerSet(p int) ListSharerSet {
+	if p <= 0 {
+		panic("coherence: sharer set needs at least one pointer")
+	}
+	return ListSharerSet{ids: make([]int16, 0, p), p: p}
+}
+
+// Pointers returns the number of hardware pointers p.
+func (s *ListSharerSet) Pointers() int { return s.p }
+
+// Add records core as a sharer, dropping the identity once all p pointers
+// are in use.
+func (s *ListSharerSet) Add(core int) {
+	if s.Contains(core) {
+		panic(fmt.Sprintf("coherence: Add of existing sharer %d", core))
+	}
+	if len(s.ids) < s.p {
+		s.ids = append(s.ids, int16(core))
+		return
+	}
+	s.unknown++
+}
+
+// Remove drops core from the set.
+func (s *ListSharerSet) Remove(core int) {
+	for i, id := range s.ids {
+		if id == int16(core) {
+			s.ids[i] = s.ids[len(s.ids)-1]
+			s.ids = s.ids[:len(s.ids)-1]
+			return
+		}
+	}
+	if s.unknown > 0 {
+		s.unknown--
+		return
+	}
+	panic(fmt.Sprintf("coherence: Remove of non-sharer %d", core))
+}
+
+// Contains reports whether core is an identified sharer.
+func (s *ListSharerSet) Contains(core int) bool {
+	for _, id := range s.ids {
+		if id == int16(core) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaybeSharer reports whether core could be a sharer.
+func (s *ListSharerSet) MaybeSharer(core int) bool {
+	return s.unknown > 0 || s.Contains(core)
+}
+
+// Count returns the exact number of sharers.
+func (s *ListSharerSet) Count() int { return len(s.ids) + int(s.unknown) }
+
+// Overflowed reports whether identities have been dropped.
+func (s *ListSharerSet) Overflowed() bool { return s.unknown > 0 }
+
+// Identified returns the identified sharer IDs.
+func (s *ListSharerSet) Identified() []int16 { return s.ids }
+
+// Clear empties the set.
+func (s *ListSharerSet) Clear() {
 	s.ids = s.ids[:0]
 	s.unknown = 0
 }

@@ -1,0 +1,115 @@
+package coherence
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// applyOp drives one decoded operation against both sharer-set
+// implementations and checks they agree on every observable. Returning
+// false means the operation was a semantically invalid input (Add of an
+// existing sharer / Remove of a non-sharer), which both implementations
+// reject identically by panicking; the fuzz driver skips those.
+func applyOp(t *testing.T, fast *SharerSet, ref *ListSharerSet, op byte, core int) {
+	t.Helper()
+	switch op % 3 {
+	case 0: // Add
+		if fast.Contains(core) != ref.Contains(core) {
+			t.Fatalf("Contains(%d) diverged before Add: fast=%v ref=%v",
+				core, fast.Contains(core), ref.Contains(core))
+		}
+		if fast.Contains(core) {
+			return // Add of an existing sharer is a protocol-layer bug, not an input
+		}
+		fast.Add(core)
+		ref.Add(core)
+	case 1: // Remove
+		if fast.Count() == 0 {
+			return
+		}
+		if !fast.Contains(core) && !fast.Overflowed() {
+			return // Remove of a non-sharer panics by contract
+		}
+		fast.Remove(core)
+		ref.Remove(core)
+	case 2: // Clear
+		fast.Clear()
+		ref.Clear()
+	}
+}
+
+// checkAgreement compares every observable of the two implementations,
+// including the exact identity-list order: the simulator's mesh contention
+// model makes sharer iteration order part of deterministic behavior, so the
+// bitmap-accelerated set must reproduce the legacy swap-removal order
+// exactly, not just the same membership.
+func checkAgreement(t *testing.T, fast *SharerSet, ref *ListSharerSet, cores int) {
+	t.Helper()
+	if fast.Count() != ref.Count() {
+		t.Fatalf("Count: fast=%d ref=%d", fast.Count(), ref.Count())
+	}
+	if fast.Overflowed() != ref.Overflowed() {
+		t.Fatalf("Overflowed: fast=%v ref=%v", fast.Overflowed(), ref.Overflowed())
+	}
+	if fast.Pointers() != ref.Pointers() {
+		t.Fatalf("Pointers: fast=%d ref=%d", fast.Pointers(), ref.Pointers())
+	}
+	fi, ri := fast.Identified(), ref.Identified()
+	if fmt.Sprint(fi) != fmt.Sprint(ri) {
+		t.Fatalf("Identified order diverged: fast=%v ref=%v", fi, ri)
+	}
+	for c := 0; c < cores; c++ {
+		if fast.Contains(c) != ref.Contains(c) {
+			t.Fatalf("Contains(%d): fast=%v ref=%v", c, fast.Contains(c), ref.Contains(c))
+		}
+		if fast.MaybeSharer(c) != ref.MaybeSharer(c) {
+			t.Fatalf("MaybeSharer(%d): fast=%v ref=%v", c, fast.MaybeSharer(c), ref.MaybeSharer(c))
+		}
+	}
+}
+
+// FuzzSharerSetVsList cross-checks the bitmap-accelerated SharerSet against
+// the legacy []int16 ListSharerSet on arbitrary operation sequences, over
+// several pointer counts including full-map and a machine larger than the
+// inline bitmap (cores > 256).
+func FuzzSharerSetVsList(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 0, 3, 2, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 0, 1, 5})
+	f.Add(bytes.Repeat([]byte{0, 7}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, geom := range []struct{ p, cores int }{
+			{1, 8}, {4, 16}, {16, 16}, {4, 300}, {300, 300},
+		} {
+			fast := NewSharerSet(geom.p)
+			ref := NewListSharerSet(geom.p)
+			for i := 0; i+1 < len(data); i += 2 {
+				core := int(data[i+1]) % geom.cores
+				applyOp(t, &fast, &ref, data[i], core)
+				checkAgreement(t, &fast, &ref, geom.cores)
+			}
+		}
+	})
+}
+
+// TestSharerSetBackedMatchesSelfAllocated checks the arena-backed
+// constructor and Rebind behave identically to the self-allocating one.
+func TestSharerSetBackedMatchesSelfAllocated(t *testing.T) {
+	const p = 4
+	backing := make([]int16, p)
+	a := NewSharerSet(p)
+	b := NewSharerSetBacked(p, backing)
+	for _, c := range []int{3, 9, 1, 7, 11} { // 5th overflows
+		a.Add(c)
+		b.Add(c)
+	}
+	a.Remove(9)
+	b.Remove(9)
+	// Rebind relocates the identity storage, preserving contents.
+	b.Rebind(make([]int16, p))
+	if fmt.Sprint(a.Identified()) != fmt.Sprint(b.Identified()) ||
+		a.Count() != b.Count() || a.Overflowed() != b.Overflowed() {
+		t.Fatalf("backed set diverged: a=%v/%d b=%v/%d",
+			a.Identified(), a.Count(), b.Identified(), b.Count())
+	}
+}

@@ -15,6 +15,17 @@ type Classifier interface {
 	ModeOf(core int) Mode
 	// ForEachTracked visits every tracked core's state.
 	ForEachTracked(fn func(core int, st *CoreState))
+	// DeactivateRemoteExcept resets the remote utilization and clears the
+	// activity bit of every tracked remote sharer other than except: a
+	// write by another core restarts their locality measurement (Sections
+	// 3.2 and 3.4). It is a dedicated method — not a ForEachTracked
+	// closure — because it sits on the write miss path, where a captured
+	// closure would be the hot loop's only heap allocation.
+	DeactivateRemoteExcept(except int)
+	// Reset returns the classifier to its pristine state (all cores
+	// private, no tracked entries), allowing pooled reuse across
+	// directory entries.
+	Reset()
 }
 
 // NewClassifier builds a classifier: limitedK <= 0 selects the Complete
@@ -46,6 +57,21 @@ func (c *complete) ModeOf(core int) Mode       { return c.states[core].Mode }
 func (c *complete) ForEachTracked(fn func(int, *CoreState)) {
 	for i := range c.states {
 		fn(i, &c.states[i])
+	}
+}
+
+func (c *complete) DeactivateRemoteExcept(except int) {
+	for i := range c.states {
+		if i != except && c.states[i].Mode == ModeRemote {
+			c.states[i].RemoteUtil = 0
+			c.states[i].Active = false
+		}
+	}
+}
+
+func (c *complete) Reset() {
+	for i := range c.states {
+		c.states[i] = CoreState{Mode: ModePrivate}
 	}
 }
 
@@ -137,6 +163,23 @@ func (l *limited) ForEachTracked(fn func(int, *CoreState)) {
 			fn(int(id), &l.st[i])
 		}
 	}
+}
+
+func (l *limited) DeactivateRemoteExcept(except int) {
+	for i, id := range l.ids {
+		if id >= 0 && int(id) != except && l.st[i].Mode == ModeRemote {
+			l.st[i].RemoteUtil = 0
+			l.st[i].Active = false
+		}
+	}
+}
+
+func (l *limited) Reset() {
+	for i := range l.ids {
+		l.ids[i] = -1
+		l.st[i] = CoreState{}
+	}
+	l.scratch = CoreState{}
 }
 
 // StorageBits returns the per-directory-entry classifier storage in bits for

@@ -1,0 +1,30 @@
+package experiments
+
+// Core-benchmark definitions shared by the repo's published go test
+// benchmarks (bench_test.go: BenchmarkAckwiseVsFullmap and
+// BenchmarkFig8And9Sweep) and cmd/lacc-bench's benchcore regression
+// harness. Both sides run these bodies, so the committed BENCH_core.json
+// allocs/op gate always measures exactly the configuration the benchmarks
+// publish — an edit here moves both together, and neither can drift
+// silently.
+
+// CoreBenchOptions returns the reduced machine (16 cores, 4-wide mesh,
+// 0.1 scale, seed 1) every tracked core benchmark runs on.
+func CoreBenchOptions(benches ...string) Options {
+	return Options{Cores: 16, MeshWidth: 4, Scale: 0.1, Seed: 1, Benchmarks: benches}
+}
+
+// CoreBenchAckwise runs one iteration of the tracked ACKwise4-vs-full-map
+// comparison (radix).
+func CoreBenchAckwise() (*AckwiseComparisonResult, error) {
+	return AckwiseComparison(CoreBenchOptions("radix"), nil)
+}
+
+// CoreBenchPCTs is the PCT list of the tracked sweep.
+var CoreBenchPCTs = []int{1, 4, 8}
+
+// CoreBenchPCTSweep runs one iteration of the tracked PCT sweep
+// (streamcluster + matmul over CoreBenchPCTs).
+func CoreBenchPCTSweep() (*PCTSweep, error) {
+	return RunPCTSweep(CoreBenchOptions("streamcluster", "matmul"), CoreBenchPCTs)
+}

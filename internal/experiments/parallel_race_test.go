@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelRunnersStress drives the bounded-parallelism job runner with
+// Parallelism > 1 through the two experiments the benchmark-regression
+// harness tracks, including two experiments racing each other. Its real
+// value is under the race detector (CI runs this package with -race): every
+// simulation mutates its own Simulator, and the only shared state is the
+// outcome channel, which this test forces into genuine concurrency.
+func TestParallelRunnersStress(t *testing.T) {
+	o := Options{
+		Cores:       8,
+		MeshWidth:   4,
+		Scale:       0.05,
+		Seed:        11,
+		Benchmarks:  []string{"radix", "streamcluster"},
+		Parallelism: 4,
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var sweepErr, ackErr error
+	var sweep *PCTSweep
+	var ack *AckwiseComparisonResult
+	go func() {
+		defer wg.Done()
+		sweep, sweepErr = RunPCTSweep(o, []int{1, 4})
+	}()
+	go func() {
+		defer wg.Done()
+		ack, ackErr = AckwiseComparison(o, nil)
+	}()
+	wg.Wait()
+
+	if sweepErr != nil {
+		t.Fatalf("RunPCTSweep: %v", sweepErr)
+	}
+	if ackErr != nil {
+		t.Fatalf("AckwiseComparison: %v", ackErr)
+	}
+	if f := sweep.Fig11(); len(f.Points) != 2 {
+		t.Fatalf("sweep returned %d PCT points, want 2", len(f.Points))
+	}
+	if len(ack.Pointers) != 2 {
+		t.Fatalf("ackwise comparison returned %d pointer counts, want 2", len(ack.Pointers))
+	}
+
+	// Parallel execution must not perturb results: rerun serially and
+	// compare the geomean completion ratios.
+	serial := o
+	serial.Parallelism = 1
+	ack2, err := AckwiseComparison(serial, nil)
+	if err != nil {
+		t.Fatalf("serial AckwiseComparison: %v", err)
+	}
+	for _, p := range ack.Pointers {
+		if ack.Completion[p] != ack2.Completion[p] {
+			t.Errorf("parallelism changed results for p=%d: %v vs %v",
+				p, ack.Completion[p], ack2.Completion[p])
+		}
+	}
+}

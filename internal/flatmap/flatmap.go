@@ -1,0 +1,121 @@
+// Package flatmap provides the open-addressed uint64-keyed hash table
+// shared by the simulator's flat line-metadata stores (per-core history,
+// golden/DRAM version tables) and R-NUCA's page table. It exists so the
+// probing, insertion and growth logic lives exactly once: the callers'
+// previous hand-rolled copies had already drifted into two different
+// index-derivation conventions.
+//
+// Layout and conventions:
+//   - linear probing over a power-of-two slot array, grown at 3/4 load;
+//   - fibonacci hashing (high bits of key * 2^64/φ) for near-sequential
+//     keys such as line and page indexes;
+//   - key 0 is the empty-slot sentinel — callers key by index+1 (see
+//     mem.LineKey) so real keys are never zero;
+//   - key and value share a slot, so a lookup touches one cache line;
+//   - no deletion (none of the backed stores ever remove entries).
+package flatmap
+
+import "math/bits"
+
+type slot[V any] struct {
+	key uint64
+	val V
+}
+
+// Table is an open-addressed uint64 → V hash table. The zero value is not
+// usable; construct with New.
+type Table[V any] struct {
+	slots []slot[V]
+	mask  uint64
+	shift uint
+	live  int
+}
+
+// New returns a table with the given initial capacity (rounded up to a
+// power of two, minimum 8).
+func New[V any](capacity int) *Table[V] {
+	t := &Table[V]{}
+	n := 8
+	for n < capacity {
+		n *= 2
+	}
+	t.alloc(n)
+	return t
+}
+
+func (t *Table[V]) alloc(capacity int) {
+	t.slots = make([]slot[V], capacity)
+	t.mask = uint64(capacity - 1)
+	t.shift = uint(64 - bits.TrailingZeros(uint(capacity)))
+	t.live = 0
+}
+
+func (t *Table[V]) idx(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// Len returns the number of stored keys.
+func (t *Table[V]) Len() int { return t.live }
+
+// Get returns key's value and whether it is present. Key must be non-zero.
+func (t *Table[V]) Get(key uint64) (V, bool) {
+	i := t.idx(key)
+	for {
+		s := &t.slots[i]
+		switch s.key {
+		case key:
+			return s.val, true
+		case 0:
+			var zero V
+			return zero, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Slot returns a pointer to key's value, inserting a zero value if absent.
+// The pointer is valid until the next Slot call (which may grow the
+// table). Key must be non-zero.
+func (t *Table[V]) Slot(key uint64) *V {
+	if (t.live+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	i := t.idx(key)
+	for {
+		s := &t.slots[i]
+		switch s.key {
+		case key:
+			return &s.val
+		case 0:
+			s.key = key
+			t.live++
+			return &s.val
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *Table[V]) grow() {
+	old := t.slots
+	t.alloc(len(old) * 2)
+	for i := range old {
+		if old[i].key == 0 {
+			continue
+		}
+		j := t.idx(old[i].key)
+		for t.slots[j].key != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = old[i]
+		t.live++
+	}
+}
+
+// ForEach visits every stored (key, value) pair in unspecified order.
+func (t *Table[V]) ForEach(fn func(key uint64, v V)) {
+	for i := range t.slots {
+		if key := t.slots[i].key; key != 0 {
+			fn(key, t.slots[i].val)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package flatmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTableAgainstMap drives a random insert/update/lookup sequence
+// against a Go map reference model across several value shapes.
+func TestTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	table := New[uint64](8) // tiny start forces many grows
+	ref := map[uint64]uint64{}
+	for step := 0; step < 50000; step++ {
+		key := uint64(1 + rng.Intn(4096))
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			*table.Slot(key) = v
+			ref[key] = v
+		} else {
+			got, ok := table.Get(key)
+			want, wantOK := ref[key]
+			if ok != wantOK || got != want {
+				t.Fatalf("Get(%d) = %d,%v want %d,%v", key, got, ok, want, wantOK)
+			}
+		}
+	}
+	if table.Len() != len(ref) {
+		t.Fatalf("Len() = %d, want %d", table.Len(), len(ref))
+	}
+	visited := map[uint64]uint64{}
+	table.ForEach(func(k uint64, v uint64) { visited[k] = v })
+	if len(visited) != len(ref) {
+		t.Fatalf("ForEach visited %d keys, want %d", len(visited), len(ref))
+	}
+	for k, v := range ref {
+		if visited[k] != v {
+			t.Fatalf("ForEach saw %d=%d, want %d", k, visited[k], v)
+		}
+	}
+}
+
+// TestSlotInsertsZero pins the insert-if-absent contract: Slot on a new
+// key materializes a zero value that Get then reports as present.
+func TestSlotInsertsZero(t *testing.T) {
+	table := New[int16](8)
+	p := table.Slot(42)
+	if *p != 0 {
+		t.Fatalf("fresh slot = %d, want 0", *p)
+	}
+	if _, ok := table.Get(42); !ok {
+		t.Fatal("key absent after Slot")
+	}
+	*p = -7
+	if v, _ := table.Get(42); v != -7 {
+		t.Fatalf("Get = %d, want -7", v)
+	}
+}
+
+// TestCapacityRounding pins the power-of-two rounding of New.
+func TestCapacityRounding(t *testing.T) {
+	for _, c := range []int{0, 1, 7, 8, 9, 1000} {
+		table := New[uint8](c)
+		n := len(table.slots)
+		if n&(n-1) != 0 || n < 8 || n < c {
+			t.Fatalf("New(%d) allocated %d slots", c, n)
+		}
+	}
+}

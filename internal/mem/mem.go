@@ -28,6 +28,12 @@ func PageOf(a Addr) Addr { return a &^ (PageBytes - 1) }
 // LineIndex returns the line number (address / 64).
 func LineIndex(a Addr) uint64 { return uint64(a) >> LineShift }
 
+// LineKey returns a guaranteed-non-zero key for a's cache line (the line
+// index plus one). The simulator's open-addressed line-metadata tables use
+// zero as their empty-slot sentinel, so line keys must never collide with
+// it; with 48-bit addresses the +1 cannot overflow.
+func LineKey(a Addr) uint64 { return uint64(a)>>LineShift + 1 }
+
 // WordInLine returns the word offset (0..7) of a within its cache line.
 func WordInLine(a Addr) int { return int(a>>WordShift) & (WordsPerLine - 1) }
 

@@ -41,6 +41,7 @@ type Config struct {
 type Mesh struct {
 	cfg      Config
 	linkFree []mem.Cycle // [tile*4+dir]
+	rowTime  []mem.Cycle // broadcast scratch: head arrival per column
 
 	// RouterFlits and LinkFlits count flit traversals for the energy model
 	// (each flit is counted once per router and once per link it crosses).
@@ -59,7 +60,11 @@ func New(cfg Config) *Mesh {
 		cfg.HopLatency = 2
 	}
 	n := cfg.Width * cfg.Height
-	return &Mesh{cfg: cfg, linkFree: make([]mem.Cycle, n*int(numDirections))}
+	return &Mesh{
+		cfg:      cfg,
+		linkFree: make([]mem.Cycle, n*int(numDirections)),
+		rowTime:  make([]mem.Cycle, cfg.Width),
+	}
 }
 
 // Tiles returns the number of tiles.
@@ -88,9 +93,10 @@ func abs(v int) int {
 	return v
 }
 
-// step advances the message head across one link, applying link contention:
-// the head waits for the link to free, then occupies it for `flits` cycles.
-func (m *Mesh) step(tile int, d Direction, t mem.Cycle, flits int) (next int, out mem.Cycle) {
+// occupy crosses one link, applying link contention: the head waits for the
+// link to free, then occupies it for `flits` cycles. It returns the head's
+// arrival time at the next router.
+func (m *Mesh) occupy(tile int, d Direction, t mem.Cycle, flits int) mem.Cycle {
 	link := tile*int(numDirections) + int(d)
 	if m.linkFree[link] > t {
 		t = m.linkFree[link]
@@ -98,7 +104,14 @@ func (m *Mesh) step(tile int, d Direction, t mem.Cycle, flits int) (next int, ou
 	m.linkFree[link] = t + mem.Cycle(flits)
 	m.LinkFlits += uint64(flits)
 	m.RouterFlits += uint64(flits)
-	t += mem.Cycle(m.cfg.HopLatency)
+	return t + mem.Cycle(m.cfg.HopLatency)
+}
+
+// step advances the message head across one link (occupy plus the XY walk);
+// broadcast uses it, while the unicast hot path tracks coordinates
+// incrementally to avoid recomputing them per hop.
+func (m *Mesh) step(tile int, d Direction, t mem.Cycle, flits int) (next int, out mem.Cycle) {
+	t = m.occupy(tile, d, t, flits)
 	x, y := m.XY(tile)
 	switch d {
 	case East:
@@ -129,21 +142,25 @@ func (m *Mesh) Unicast(src, dst int, flits int, depart mem.Cycle) mem.Cycle {
 	cur := src
 	sx, sy := m.XY(src)
 	dx, dy := m.XY(dst)
-	for sx != dx { // X first
-		d := East
-		if dx < sx {
-			d = West
-		}
-		cur, t = m.step(cur, d, t, flits)
-		sx, _ = m.XY(cur)
+	for sx < dx { // X first
+		t = m.occupy(cur, East, t, flits)
+		sx++
+		cur++
 	}
-	for sy != dy { // then Y
-		d := South
-		if dy < sy {
-			d = North
-		}
-		cur, t = m.step(cur, d, t, flits)
-		_, sy = m.XY(cur)
+	for sx > dx {
+		t = m.occupy(cur, West, t, flits)
+		sx--
+		cur--
+	}
+	for sy < dy { // then Y
+		t = m.occupy(cur, South, t, flits)
+		sy++
+		cur += m.cfg.Width
+	}
+	for sy > dy {
+		t = m.occupy(cur, North, t, flits)
+		sy--
+		cur -= m.cfg.Width
 	}
 	// Tail flit arrives flits-1 cycles after the head.
 	return t + mem.Cycle(flits-1)
@@ -154,16 +171,28 @@ func (m *Mesh) Unicast(src, dst int, flits int, depart mem.Cycle) mem.Cycle {
 // arrival cycle (tail flit) at every tile; the source's own entry is the
 // departure time.
 func (m *Mesh) Broadcast(src int, flits int, depart mem.Cycle) []mem.Cycle {
+	return m.BroadcastInto(nil, src, flits, depart)
+}
+
+// BroadcastInto is Broadcast writing the arrival times into dst when it has
+// capacity for one entry per tile (allocating otherwise), so hot callers
+// can reuse one buffer across broadcasts. Every entry is overwritten.
+func (m *Mesh) BroadcastInto(dst []mem.Cycle, src int, flits int, depart mem.Cycle) []mem.Cycle {
 	if flits <= 0 {
 		panic("network: message needs at least one flit")
 	}
 	m.Messages++
-	arrive := make([]mem.Cycle, m.Tiles())
+	var arrive []mem.Cycle
+	if cap(dst) >= m.Tiles() {
+		arrive = dst[:m.Tiles()]
+	} else {
+		arrive = make([]mem.Cycle, m.Tiles())
+	}
 	arrive[src] = depart
 
 	sx, _ := m.XY(src)
 	// Phase 1: spread along the source row.
-	rowTime := make([]mem.Cycle, m.cfg.Width) // head arrival per column
+	rowTime := m.rowTime // head arrival per column; fully overwritten below
 	rowTime[sx] = depart
 	cur, t := src, depart
 	for x := sx; x < m.cfg.Width-1; x++ { // eastward

@@ -16,6 +16,7 @@ package nuca
 import (
 	"fmt"
 
+	"lacc/internal/flatmap"
 	"lacc/internal/mem"
 )
 
@@ -41,7 +42,16 @@ type Placement struct {
 	meshW    int
 	clusterW int
 	clusterH int
-	pages    map[mem.Addr]pageInfo
+	// pages maps pageKey → pageInfo. The DataHome lookup sits on every L1
+	// miss, where the general-purpose map was measurable, so it uses the
+	// shared open-addressed flat table.
+	pages *flatmap.Table[pageInfo]
+
+	// recl is the reclassification scratch returned by DataHome, valid
+	// until the next call; reclassifications are handled synchronously by
+	// the simulator, and reusing the value keeps the miss path
+	// allocation-free.
+	recl Reclassification
 
 	// PrivatePages and SharedPages count current classifications;
 	// Reclassifications counts private→shared transitions.
@@ -54,6 +64,10 @@ type pageInfo struct {
 	class PageClass
 	owner int16
 }
+
+// pageKey returns the non-zero flatmap key for a's page (flatmap reserves
+// key 0 as the empty-slot sentinel).
+func pageKey(a mem.Addr) uint64 { return uint64(a)>>mem.PageShift + 1 }
 
 // New returns a placement policy for a meshW-wide mesh with `tiles` tiles.
 // Instruction clusters are 2×2 (4 cores) per the paper; for meshes smaller
@@ -72,7 +86,7 @@ func New(tiles, meshW int) *Placement {
 	return &Placement{
 		tiles: tiles, meshW: meshW,
 		clusterW: cw, clusterH: ch,
-		pages: make(map[mem.Addr]pageInfo),
+		pages: flatmap.New[pageInfo](1024),
 	}
 }
 
@@ -95,11 +109,13 @@ func (p *Placement) sharedHome(a mem.Addr) int {
 // DataHome returns the home slice for a data access by `requester` and, when
 // the access flips the page from private to shared, the reclassification the
 // caller must act upon.
+// The returned *Reclassification points at scratch storage reused by the
+// next DataHome call; act on it before looking up another address.
 func (p *Placement) DataHome(a mem.Addr, requester int) (home int, recl *Reclassification) {
 	page := mem.PageOf(a)
-	info, ok := p.pages[page]
+	info, ok := p.pages.Get(pageKey(page))
 	if !ok {
-		p.pages[page] = pageInfo{class: PagePrivate, owner: int16(requester)}
+		*p.pages.Slot(pageKey(page)) = pageInfo{class: PagePrivate, owner: int16(requester)}
 		p.PrivatePages++
 		return requester, nil
 	}
@@ -109,11 +125,12 @@ func (p *Placement) DataHome(a mem.Addr, requester int) (home int, recl *Reclass
 			return requester, nil
 		}
 		// First access by another core: reclassify to shared.
-		p.pages[page] = pageInfo{class: PageShared}
+		*p.pages.Slot(pageKey(page)) = pageInfo{class: PageShared}
 		p.PrivatePages--
 		p.SharedPages++
 		p.Reclassifications++
-		return p.sharedHome(a), &Reclassification{Page: page, OldHome: int(info.owner)}
+		p.recl = Reclassification{Page: page, OldHome: int(info.owner)}
+		return p.sharedHome(a), &p.recl
 	default:
 		return p.sharedHome(a), nil
 	}
@@ -122,7 +139,7 @@ func (p *Placement) DataHome(a mem.Addr, requester int) (home int, recl *Reclass
 // PeekDataHome returns the current home for a line without touching the
 // page table (used for eviction notifications, which must not reclassify).
 func (p *Placement) PeekDataHome(a mem.Addr, requester int) int {
-	info, ok := p.pages[mem.PageOf(a)]
+	info, ok := p.pages.Get(pageKey(a))
 	if !ok || info.class == PagePrivate {
 		if ok {
 			return int(info.owner)
@@ -135,7 +152,7 @@ func (p *Placement) PeekDataHome(a mem.Addr, requester int) int {
 // ClassOf returns the classification of a's page; cold pages default to
 // private per first-touch.
 func (p *Placement) ClassOf(a mem.Addr) (PageClass, bool) {
-	info, ok := p.pages[mem.PageOf(a)]
+	info, ok := p.pages.Get(pageKey(a))
 	return info.class, ok
 }
 

@@ -22,6 +22,7 @@ type adaptiveProtocol struct {
 
 func init() {
 	RegisterProtocol(ProtocolAdaptive, func(s *Simulator) Protocol {
+		s.clsPool = core.NewClassifierPool(s.cfg.Cores, s.cfg.ClassifierK)
 		return &adaptiveProtocol{s}
 	})
 }
@@ -34,13 +35,17 @@ func (s *adaptiveProtocol) Name() string { return string(ProtocolAdaptive) }
 // already collected; nothing protocol-private remains.
 func (s *adaptiveProtocol) Finalize(r *Result) {}
 
-// newDirEntry allocates a directory entry with a fresh classifier (all
-// cores initially private, Figure 4) and an ACKwise-p sharer set.
-func (s *adaptiveProtocol) newDirEntry() *dirEntry {
-	return &dirEntry{
-		sharers: coherence.NewSharerSet(s.cfg.AckwisePointers),
-		owner:   -1,
-		cls:     core.NewClassifier(s.cfg.Cores, s.cfg.ClassifierK),
+// initDirEntry completes a freshly inserted directory entry with a pristine
+// classifier (all cores initially private, Figure 4). The fast core draws
+// classifiers from the slab pool; the reference core allocates like the old
+// implementation, so a defective classifier Reset would surface as a
+// differential mismatch.
+func (s *adaptiveProtocol) initDirEntry(e *dirEntry) {
+	e.owner = -1
+	if s.reference {
+		e.cls = core.NewClassifier(s.cfg.Cores, s.cfg.ClassifierK)
+	} else {
+		e.cls = s.clsPool.Get()
 	}
 }
 
@@ -155,12 +160,7 @@ func (s *adaptiveProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.
 		sharersLat += tInv - t
 		t = tInv
 		// Remote utilization of every other remote sharer resets to 0.
-		entry.cls.ForEachTracked(func(id int, cs *core.CoreState) {
-			if id != c.id && cs.Mode == core.ModeRemote {
-				cs.RemoteUtil = 0
-				cs.Active = false
-			}
-		})
+		entry.cls.DeactivateRemoteExcept(c.id)
 		s.meter.DirUpdates++
 		if st.Mode == core.ModePrivate {
 			grant = true
@@ -197,11 +197,11 @@ func (s *adaptiveProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.
 	if grant {
 		tEnd = s.grantLine(c, kind, la, home, entry, l2line, upgrade, t)
 		l1l2 += tEnd - t
-		c.history[la] = hCached
+		c.history.set(la, hCached)
 	} else {
 		tEnd = s.mesh.Unicast(home, c.id, replyFlits, t)
 		l1l2 += tEnd - t
-		c.history[la] = hRemote
+		c.history.set(la, hRemote)
 	}
 
 	c.l1d.Record(outcome)
@@ -372,7 +372,8 @@ func (s *adaptiveProtocol) invalidateSharers(home int, la mem.Addr, entry *dirEn
 	latest := t
 	if entry.sharers.Overflowed() {
 		s.bcastInvals++
-		arrivals := s.mesh.Broadcast(home, 1, t)
+		arrivals := s.mesh.BroadcastInto(s.bcastInval, home, 1, t)
+		s.bcastInval = arrivals
 		for id := range s.tiles {
 			if id == except || !s.tileHasCopy(id, la) {
 				continue
@@ -388,7 +389,7 @@ func (s *adaptiveProtocol) invalidateSharers(home int, la mem.Addr, entry *dirEn
 			entry.sharers.Add(except)
 		}
 	} else {
-		ids := append([]int16(nil), entry.sharers.Identified()...)
+		ids := s.borrowIDs(entry.sharers.Identified())
 		for _, id16 := range ids {
 			id := int(id16)
 			if id == except {
@@ -401,6 +402,7 @@ func (s *adaptiveProtocol) invalidateSharers(home int, la mem.Addr, entry *dirEn
 			}
 			entry.sharers.Remove(id)
 		}
+		s.returnIDs(ids)
 	}
 	if entry.sharers.Count() == 0 {
 		entry.state = coherence.Uncached
@@ -428,7 +430,7 @@ func (s *adaptiveProtocol) invalAck(home int, la mem.Addr, id int, entry *dirEnt
 	if s.cfg.TrackUtilization {
 		s.invalHist.Record(line.Util)
 	}
-	s.cores[id].history[la] = hInvalidated
+	s.cores[id].history.set(la, hInvalidated)
 	s.invalidations++
 	return tAck
 }
@@ -482,7 +484,7 @@ func (s *adaptiveProtocol) L1Evict(c *coreState, victim cache.Line, t mem.Cycle)
 	s.mesh.Unicast(c.id, home, flits, t)
 
 	ht := &s.tiles[home]
-	entry := ht.dir[la]
+	entry := ht.dir.probe(la)
 	if entry == nil {
 		panic(fmt.Sprintf("sim: eviction of line %#x without directory entry", la))
 	}
@@ -508,7 +510,7 @@ func (s *adaptiveProtocol) L1Evict(c *coreState, victim cache.Line, t mem.Cycle)
 	if s.cfg.TrackUtilization {
 		s.evictHist.Record(victim.Util)
 	}
-	c.history[la] = hEvicted
+	c.history.set(la, hEvicted)
 }
 
 // L2Evict handles an L2 slice eviction: the inclusive hierarchy
@@ -526,7 +528,7 @@ func (s *adaptiveProtocol) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		return
 	}
 	ht := &s.tiles[home]
-	entry := ht.dir[la]
+	entry := ht.dir.probe(la)
 	if entry == nil {
 		return // read-only instruction replica
 	}
@@ -550,7 +552,7 @@ func (s *adaptiveProtocol) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		if s.cfg.TrackUtilization {
 			s.evictHist.Record(line.Util)
 		}
-		s.cores[id].history[la] = hEvicted
+		s.cores[id].history.set(la, hEvicted)
 	}
 
 	switch entry.state {
@@ -558,7 +560,7 @@ func (s *adaptiveProtocol) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		backInval(int(entry.owner))
 	case coherence.SharedState:
 		if entry.sharers.Overflowed() {
-			s.mesh.Broadcast(home, 1, t)
+			s.bcastEvict = s.mesh.BroadcastInto(s.bcastEvict, home, 1, t)
 			s.bcastInvals++
 			for id := range s.tiles {
 				if s.tileHasCopy(id, la) {
@@ -566,10 +568,11 @@ func (s *adaptiveProtocol) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 				}
 			}
 		} else {
-			ids := append([]int16(nil), entry.sharers.Identified()...)
+			ids := s.borrowIDs(entry.sharers.Identified())
 			for _, id := range ids {
 				backInval(int(id))
 			}
+			s.returnIDs(ids)
 		}
 	}
 	if dirty {
@@ -577,10 +580,10 @@ func (s *adaptiveProtocol) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		mc := s.dram.TileOf(ctrl)
 		s.mesh.Unicast(home, mc, 9, t)
 		s.dram.Write(ctrl, mem.LineBytes, t)
-		s.dramVer[la] = version
+		s.dramVer.set(la, version)
 		s.meter.L2LineReads++
 	}
-	delete(ht.dir, la)
+	s.removeDirEntry(home, la, entry)
 }
 
 // PageMove implements the R-NUCA private→shared reclassification: the
@@ -596,16 +599,16 @@ func (s *adaptiveProtocol) PageMove(recl *nuca.Reclassification, t mem.Cycle) {
 		if l2line == nil {
 			continue
 		}
-		entry := ht.dir[la]
+		entry := ht.dir.probe(la)
 		if entry != nil {
 			s.invalidateSharers(oldHome, la, entry, l2line, -1, t)
-			delete(ht.dir, la)
+			s.removeDirEntry(oldHome, la, entry)
 		}
 		old, _ := ht.l2.Invalidate(la)
 		ctrl := s.dram.ControllerOf(la)
 		if old.Dirty {
 			s.dram.Write(ctrl, mem.LineBytes, t)
-			s.dramVer[la] = old.Version
+			s.dramVer.set(la, old.Version)
 			s.mesh.Unicast(oldHome, s.dram.TileOf(ctrl), 9, t)
 		}
 		s.meter.L2LineReads++

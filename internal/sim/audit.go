@@ -5,6 +5,7 @@ import (
 
 	"lacc/internal/cache"
 	"lacc/internal/coherence"
+	"lacc/internal/mem"
 )
 
 // Audit verifies the structural invariants of the final machine state and
@@ -26,41 +27,15 @@ func (s *Simulator) Audit() error {
 	// Directory-side checks.
 	for home := range s.tiles {
 		ht := &s.tiles[home]
-		for la, entry := range ht.dir {
-			if ht.l2.Probe(la) == nil {
-				return fmt.Errorf("sim: audit: directory entry %#x at tile %d without L2 line", la, home)
+		var fail error
+		ht.dir.forEach(func(la mem.Addr, entry *dirEntry) {
+			if fail != nil {
+				return
 			}
-			holders := 0
-			for id := range s.tiles {
-				if s.tileHasCopy(id, la) {
-					holders++
-				}
-			}
-			switch entry.state {
-			case coherence.Uncached:
-				if holders != 0 {
-					return fmt.Errorf("sim: audit: uncached line %#x has %d copies", la, holders)
-				}
-			case coherence.SharedState:
-				if holders != entry.sharers.Count() {
-					return fmt.Errorf("sim: audit: line %#x tracks %d sharers, found %d copies",
-						la, entry.sharers.Count(), holders)
-				}
-				for _, id := range entry.sharers.Identified() {
-					if !s.tileHasCopy(int(id), la) {
-						return fmt.Errorf("sim: audit: line %#x lists sharer %d without a copy", la, id)
-					}
-				}
-			case coherence.ExclusiveState, coherence.ModifiedState:
-				if holders != 1 {
-					return fmt.Errorf("sim: audit: owned line %#x has %d copies", la, holders)
-				}
-				if !s.tileHasCopy(int(entry.owner), la) {
-					return fmt.Errorf("sim: audit: line %#x owner %d holds no copy", la, entry.owner)
-				}
-			default:
-				return fmt.Errorf("sim: audit: line %#x in unknown state %v", la, entry.state)
-			}
+			fail = s.auditEntry(home, la, entry)
+		})
+		if fail != nil {
+			return fail
 		}
 	}
 	// Cache-side inclusivity checks.
@@ -72,6 +47,45 @@ func (s *Simulator) Audit() error {
 	return nil
 }
 
+// auditEntry checks one directory entry against the caches.
+func (s *Simulator) auditEntry(home int, la mem.Addr, entry *dirEntry) error {
+	if s.tiles[home].l2.Probe(la) == nil {
+		return fmt.Errorf("sim: audit: directory entry %#x at tile %d without L2 line", la, home)
+	}
+	holders := 0
+	for id := range s.tiles {
+		if s.tileHasCopy(id, la) {
+			holders++
+		}
+	}
+	switch entry.state {
+	case coherence.Uncached:
+		if holders != 0 {
+			return fmt.Errorf("sim: audit: uncached line %#x has %d copies", la, holders)
+		}
+	case coherence.SharedState:
+		if holders != entry.sharers.Count() {
+			return fmt.Errorf("sim: audit: line %#x tracks %d sharers, found %d copies",
+				la, entry.sharers.Count(), holders)
+		}
+		for _, id := range entry.sharers.Identified() {
+			if !s.tileHasCopy(int(id), la) {
+				return fmt.Errorf("sim: audit: line %#x lists sharer %d without a copy", la, id)
+			}
+		}
+	case coherence.ExclusiveState, coherence.ModifiedState:
+		if holders != 1 {
+			return fmt.Errorf("sim: audit: owned line %#x has %d copies", la, holders)
+		}
+		if !s.tileHasCopy(int(entry.owner), la) {
+			return fmt.Errorf("sim: audit: line %#x owner %d holds no copy", la, entry.owner)
+		}
+	default:
+		return fmt.Errorf("sim: audit: line %#x in unknown state %v", la, entry.state)
+	}
+	return nil
+}
+
 // auditL1 checks every valid L1-D line against its home directory.
 func (s *Simulator) auditL1(id int) error {
 	var fail error
@@ -79,7 +93,7 @@ func (s *Simulator) auditL1(id int) error {
 		if fail != nil {
 			return
 		}
-		entry := s.tiles[l.Home].dir[l.Addr]
+		entry := s.tiles[l.Home].dir.probe(l.Addr)
 		if entry == nil {
 			fail = fmt.Errorf("sim: audit: L1 line %#x at core %d has no directory entry at home %d",
 				l.Addr, id, l.Home)

@@ -35,9 +35,16 @@ func runTiny(t *testing.T) *Simulator {
 // corrupt locates the first directory entry and applies fn to it.
 func corrupt(t *testing.T, s *Simulator, fn func(la mem.Addr, e *dirEntry)) {
 	t.Helper()
+	done := false
 	for i := range s.tiles {
-		for la, e := range s.tiles[i].dir {
+		s.tiles[i].dir.forEach(func(la mem.Addr, e *dirEntry) {
+			if done {
+				return
+			}
 			fn(la, e)
+			done = true
+		})
+		if done {
 			return
 		}
 	}
@@ -83,9 +90,10 @@ func TestAuditDetectsMissingL2Line(t *testing.T) {
 	var victim mem.Addr
 	var tile int
 	for i := range s.tiles {
-		for la := range s.tiles[i].dir {
+		i := i
+		s.tiles[i].dir.forEach(func(la mem.Addr, _ *dirEntry) {
 			victim, tile = la, i
-		}
+		})
 	}
 	s.tiles[tile].l2.Invalidate(victim)
 	err := s.Audit()

@@ -19,12 +19,10 @@ type fullMapDirectory struct {
 	*Simulator
 }
 
-// newDirEntry allocates a classifier-free full-map directory entry.
-func (d *fullMapDirectory) newDirEntry() *dirEntry {
-	return &dirEntry{
-		sharers: coherence.NewSharerSet(d.cfg.Cores),
-		owner:   -1,
-	}
+// initDirEntry completes a freshly inserted classifier-free full-map
+// directory entry (the sharer vector is already bound by the directory).
+func (d *fullMapDirectory) initDirEntry(e *dirEntry) {
+	e.owner = -1
 }
 
 // fetchOwnerForRead performs the synchronous write-back/downgrade of an E
@@ -85,7 +83,7 @@ func (d *fullMapDirectory) invalidateSharers(home int, la mem.Addr, entry *dirEn
 	}
 
 	latest := t
-	ids := append([]int16(nil), entry.sharers.Identified()...)
+	ids := d.borrowIDs(entry.sharers.Identified())
 	for _, id16 := range ids {
 		id := int(id16)
 		if id == except {
@@ -98,6 +96,7 @@ func (d *fullMapDirectory) invalidateSharers(home int, la mem.Addr, entry *dirEn
 		}
 		entry.sharers.Remove(id)
 	}
+	d.returnIDs(ids)
 	if entry.sharers.Count() == 0 {
 		entry.state = coherence.Uncached
 	}
@@ -126,7 +125,7 @@ func (d *fullMapDirectory) invalCopy(home int, la mem.Addr, id int,
 	if d.cfg.TrackUtilization {
 		d.invalHist.Record(line.Util)
 	}
-	d.cores[id].history[la] = hInvalidated
+	d.cores[id].history.set(la, hInvalidated)
 	d.invalidations++
 	d.meter.DirUpdates++
 	return tAck
@@ -207,7 +206,7 @@ func (d *fullMapDirectory) L1Evict(c *coreState, victim cache.Line, t mem.Cycle)
 	d.mesh.Unicast(c.id, home, flits, t)
 
 	ht := &d.tiles[home]
-	entry := ht.dir[la]
+	entry := ht.dir.probe(la)
 	if entry == nil {
 		panic(fmt.Sprintf("sim: eviction of line %#x without directory entry", la))
 	}
@@ -233,7 +232,7 @@ func (d *fullMapDirectory) L1Evict(c *coreState, victim cache.Line, t mem.Cycle)
 	if d.cfg.TrackUtilization {
 		d.evictHist.Record(victim.Util)
 	}
-	c.history[la] = hEvicted
+	c.history.set(la, hEvicted)
 }
 
 // L2Evict back-invalidates every private copy of a displaced home line
@@ -242,7 +241,7 @@ func (d *fullMapDirectory) L1Evict(c *coreState, victim cache.Line, t mem.Cycle)
 func (d *fullMapDirectory) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 	la := victim.Addr
 	ht := &d.tiles[home]
-	entry := ht.dir[la]
+	entry := ht.dir.probe(la)
 	if entry == nil {
 		return // read-only instruction replica
 	}
@@ -268,27 +267,28 @@ func (d *fullMapDirectory) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		if d.cfg.TrackUtilization {
 			d.evictHist.Record(line.Util)
 		}
-		d.cores[id].history[la] = hEvicted
+		d.cores[id].history.set(la, hEvicted)
 	}
 
 	switch entry.state {
 	case coherence.ExclusiveState, coherence.ModifiedState:
 		backInval(int(entry.owner))
 	case coherence.SharedState:
-		ids := append([]int16(nil), entry.sharers.Identified()...)
+		ids := d.borrowIDs(entry.sharers.Identified())
 		for _, id := range ids {
 			backInval(int(id))
 		}
+		d.returnIDs(ids)
 	}
 	if dirty {
 		ctrl := d.dram.ControllerOf(la)
 		mc := d.dram.TileOf(ctrl)
 		d.mesh.Unicast(home, mc, 9, t)
 		d.dram.Write(ctrl, mem.LineBytes, t)
-		d.dramVer[la] = version
+		d.dramVer.set(la, version)
 		d.meter.L2LineReads++
 	}
-	delete(ht.dir, la)
+	d.removeDirEntry(home, la, entry)
 }
 
 // PageMove applies the R-NUCA private→shared reclassification: every copy
@@ -303,16 +303,16 @@ func (d *fullMapDirectory) PageMove(recl *nuca.Reclassification, t mem.Cycle) {
 		if l2line == nil {
 			continue
 		}
-		entry := ht.dir[la]
+		entry := ht.dir.probe(la)
 		if entry != nil {
 			d.invalidateSharers(oldHome, la, entry, l2line, -1, t)
-			delete(ht.dir, la)
+			d.removeDirEntry(oldHome, la, entry)
 		}
 		old, _ := ht.l2.Invalidate(la)
 		ctrl := d.dram.ControllerOf(la)
 		if old.Dirty {
 			d.dram.Write(ctrl, mem.LineBytes, t)
-			d.dramVer[la] = old.Version
+			d.dramVer.set(la, old.Version)
 			d.mesh.Unicast(oldHome, d.dram.TileOf(ctrl), 9, t)
 		}
 		d.meter.L2LineReads++

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lacc/internal/coherence"
+	"lacc/internal/mem"
+	"lacc/internal/trace"
+)
+
+// The differential property test: randomized access programs — reads,
+// writes, compute gaps, locks and barriers over a mix of shared and
+// per-core pages — are replayed through the flat fast core (New) and the
+// map-backed reference core (newReference). The two storage layouts must be
+// behaviorally indistinguishable: every Result field, the golden and DRAM
+// version stores, and the final directory state must match exactly, and
+// both must pass the structural audit (which runs inside Run when
+// CheckValues is set). The machine is shrunk until every protocol path is
+// exercised: tiny caches force L1/L2 evictions and back-invalidations,
+// ACKwise-2 overflows into broadcasts, cross-core touches trigger R-NUCA
+// page moves, and the victim-replication variant stresses replica
+// bookkeeping.
+
+// diffConfig is the small machine shared by the differential runs.
+func diffConfig() Config {
+	cfg := Default()
+	cfg.Cores = 4
+	cfg.MeshWidth = 2
+	cfg.MemControllers = 2
+	cfg.L1ISizeKB, cfg.L1IWays = 1, 2
+	cfg.L1DSizeKB, cfg.L1DWays = 1, 2
+	cfg.L2SizeKB, cfg.L2Ways = 4, 4
+	cfg.AckwisePointers = 2
+	cfg.ClassifierK = 2
+	cfg.CodeLines = 12
+	cfg.CheckValues = true
+	cfg.TrackUtilization = true
+	return cfg
+}
+
+// buildRandomProgram emits one access slice per core: rounds of randomized
+// reads/writes (with gaps and occasional well-nested lock/unlock critical
+// sections) separated by global barriers every core participates in.
+func buildRandomProgram(rng *rand.Rand, cores int) [][]mem.Access {
+	const (
+		rounds      = 6
+		opsPerRound = 150
+		sharedPages = 3
+	)
+	dataBase := mem.Addr(1) << 22
+	pageAddr := func(page int) mem.Addr {
+		return dataBase + mem.Addr(page)*mem.PageBytes
+	}
+	randWord := func(page int) mem.Addr {
+		return pageAddr(page) + mem.Addr(rng.Intn(mem.PageBytes/mem.WordBytes))*mem.WordBytes
+	}
+	progs := make([][]mem.Access, cores)
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < cores; c++ {
+			n := opsPerRound/2 + rng.Intn(opsPerRound)
+			for i := 0; i < n; i++ {
+				// 70% shared pool, else the core's own page (first-touch
+				// private, occasionally poached below to force page moves).
+				page := rng.Intn(sharedPages)
+				if rng.Intn(10) >= 7 {
+					page = sharedPages + c
+				}
+				if rng.Intn(50) == 0 {
+					page = sharedPages + rng.Intn(cores) // poach a private page
+				}
+				kind := mem.Read
+				if rng.Intn(5) < 2 {
+					kind = mem.Write
+				}
+				a := mem.Access{Kind: kind, Addr: randWord(page), Gap: uint32(rng.Intn(5))}
+				if rng.Intn(20) == 0 {
+					// Critical section: lock, two accesses, unlock.
+					id := uint64(1 + rng.Intn(2))
+					progs[c] = append(progs[c],
+						mem.Access{Kind: mem.Lock, Addr: mem.Addr(id)},
+						a,
+						mem.Access{Kind: kind, Addr: randWord(page)},
+						mem.Access{Kind: mem.Unlock, Addr: mem.Addr(id)})
+					continue
+				}
+				progs[c] = append(progs[c], a)
+			}
+			progs[c] = append(progs[c], mem.Access{Kind: mem.Barrier, Addr: mem.Addr(9000 + r)})
+		}
+	}
+	return progs
+}
+
+// runProgram executes prog on a fresh simulator of the requested layout.
+func runProgram(t *testing.T, cfg Config, reference bool, prog [][]mem.Access) (*Simulator, *Result) {
+	t.Helper()
+	var s *Simulator
+	var err error
+	if reference {
+		s, err = newReference(cfg)
+	} else {
+		s, err = New(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]trace.Stream, len(prog))
+	for i := range prog {
+		streams[i] = trace.FromSlice(prog[i])
+	}
+	res, err := s.Run(streams)
+	if err != nil {
+		t.Fatalf("reference=%v: %v", reference, err)
+	}
+	return s, res
+}
+
+// dirSnap is one directory entry's observable state.
+type dirSnap struct {
+	Tile  int
+	LA    mem.Addr
+	State coherence.State
+	Owner int16
+	Busy  mem.Cycle
+	Count int
+	Over  bool
+	IDs   string // exact identity-list order: iteration order is behavior
+}
+
+func dirSnapshot(s *Simulator) []dirSnap {
+	var out []dirSnap
+	for i := range s.tiles {
+		tile := i
+		s.tiles[i].dir.forEach(func(la mem.Addr, e *dirEntry) {
+			out = append(out, dirSnap{
+				Tile:  tile,
+				LA:    la,
+				State: e.state,
+				Owner: e.owner,
+				Busy:  e.busyUntil,
+				Count: e.sharers.Count(),
+				Over:  e.sharers.Overflowed(),
+				IDs:   fmt.Sprint(e.sharers.Identified()),
+			})
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Tile != out[b].Tile {
+			return out[a].Tile < out[b].Tile
+		}
+		return out[a].LA < out[b].LA
+	})
+	return out
+}
+
+func verSnapshot(v *verStore) map[mem.Addr]uint64 {
+	out := map[mem.Addr]uint64{}
+	v.forEach(func(la mem.Addr, val uint64) { out[la] = val })
+	return out
+}
+
+func TestDifferentialFastVsReference(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"adaptive-ackwise2-limited2", func(c *Config) {}},
+		{"adaptive-fullmap-complete", func(c *Config) {
+			c.AckwisePointers = c.Cores
+			c.ClassifierK = 0
+		}},
+		{"adaptive-timestamp", func(c *Config) { c.Protocol.UseTimestamp = true }},
+		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
+		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
+		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+	}
+	for _, v := range variants {
+		for seed := int64(1); seed <= 3; seed++ {
+			v, seed := v, seed
+			t.Run(fmt.Sprintf("%s/seed%d", v.name, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := diffConfig()
+				v.mut(&cfg)
+				prog := buildRandomProgram(rand.New(rand.NewSource(seed)), cfg.Cores)
+
+				fastSim, fastRes := runProgram(t, cfg, false, prog)
+				refSim, refRes := runProgram(t, cfg, true, prog)
+
+				if !reflect.DeepEqual(fastRes, refRes) {
+					t.Errorf("results diverged:\nfast: %+v\nref:  %+v", fastRes, refRes)
+				}
+				if got, want := verSnapshot(&fastSim.golden), verSnapshot(&refSim.golden); !reflect.DeepEqual(got, want) {
+					t.Errorf("golden store diverged: fast %d lines, ref %d lines", len(got), len(want))
+				}
+				if got, want := verSnapshot(&fastSim.dramVer), verSnapshot(&refSim.dramVer); !reflect.DeepEqual(got, want) {
+					t.Errorf("DRAM version store diverged: fast %d lines, ref %d lines", len(got), len(want))
+				}
+				fastDir, refDir := dirSnapshot(fastSim), dirSnapshot(refSim)
+				if !reflect.DeepEqual(fastDir, refDir) {
+					n := len(fastDir)
+					if len(refDir) < n {
+						n = len(refDir)
+					}
+					for i := 0; i < n; i++ {
+						if fastDir[i] != refDir[i] {
+							t.Errorf("directory diverged at entry %d:\nfast: %+v\nref:  %+v",
+								i, fastDir[i], refDir[i])
+							break
+						}
+					}
+					if len(fastDir) != len(refDir) {
+						t.Errorf("directory sizes diverged: fast %d, ref %d", len(fastDir), len(refDir))
+					}
+				}
+				// Both layouts already passed the in-run audit; re-run it on
+				// the final states to pin the invariants explicitly.
+				if err := fastSim.Audit(); err != nil {
+					t.Errorf("fast core failed audit: %v", err)
+				}
+				if err := refSim.Audit(); err != nil {
+					t.Errorf("reference core failed audit: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialExercisesProtocolMachinery guards the differential test's
+// coverage: the randomized program on the shrunken machine must actually
+// drive the paths the flat core rewrote — evictions at both levels,
+// invalidations, ACKwise broadcast overflow, page reclassifications and
+// remote word accesses — otherwise the equivalence proof is vacuous.
+func TestDifferentialExercisesProtocolMachinery(t *testing.T) {
+	cfg := diffConfig()
+	prog := buildRandomProgram(rand.New(rand.NewSource(1)), cfg.Cores)
+	_, res := runProgram(t, cfg, false, prog)
+	if res.Invalidations == 0 {
+		t.Error("no invalidations exercised")
+	}
+	if res.BroadcastInvalidations == 0 {
+		t.Error("no ACKwise overflow broadcasts exercised")
+	}
+	if res.Reclassifications == 0 {
+		t.Error("no R-NUCA page reclassifications exercised")
+	}
+	if res.WordReads+res.WordWrites == 0 {
+		t.Error("no remote word accesses exercised")
+	}
+	if res.L1D.TotalMisses() == 0 || res.DRAMReads == 0 {
+		t.Error("no misses or DRAM traffic exercised")
+	}
+}

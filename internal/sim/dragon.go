@@ -103,7 +103,7 @@ func (p *dragonProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Ad
 		sharersLat += shLat
 		l1l2 += tEnd - t - shLat
 	}
-	c.history[la] = hCached
+	c.history.set(la, hCached)
 
 	c.l1d.Record(outcome)
 	c.bd.L1ToL2 += float64(l1l2)

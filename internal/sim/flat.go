@@ -1,0 +1,359 @@
+package sim
+
+// Flat, allocation-free line-metadata storage for the simulation hot path.
+//
+// The original core kept every per-line structure in Go maps — the
+// directory (map[mem.Addr]*dirEntry per tile), the per-core miss-history
+// (map[mem.Addr]uint8) and the golden/DRAM version stores
+// (map[mem.Addr]uint64) — plus a freshly allocated sharer list and
+// classifier per directory entry. Each data access therefore paid several
+// hash-map walks and each new resident line several heap allocations.
+//
+// This file replaces them with open-addressed tables (linear probing,
+// power-of-two capacity, fibonacci hashing of mem.LineKey) whose values
+// live inline in the slot array, and with a per-table identity arena that
+// backs every directory slot's sharer set. The directory table is
+// specialized here (it needs tombstones and the arena); the plain
+// key-value stores share internal/flatmap. The map-based layout survives
+// unchanged behind the same accessors as the reference core (newReference),
+// which the differential tests replay against the flat core to prove
+// bit-identical behavior.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lacc/internal/coherence"
+	"lacc/internal/flatmap"
+	"lacc/internal/mem"
+)
+
+// hashKey maps a line key to a table index via fibonacci (multiplicative)
+// hashing: line keys are near-sequential, and taking the high bits of the
+// product spreads consecutive keys across the table.
+func hashKey(key uint64, shift uint) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> shift
+}
+
+// Directory slot states. Removal leaves a tombstone (dirSlotDead) so probe
+// chains stay intact; tombstones are reclaimed by the next grow.
+const (
+	dirSlotEmpty uint8 = iota
+	dirSlotLive
+	dirSlotDead
+)
+
+type dirSlot struct {
+	key   uint64 // mem.LineKey of the line, meaningful when live
+	state uint8
+	entry dirEntry
+}
+
+// dirTable is the flat per-tile directory: an open-addressed table of
+// packed dirEntry values. Each slot owns a fixed p-pointer segment of the
+// table's identity arena, handed to the slot's sharer set at insert, so a
+// directory entry's whole footprint — entry, sharer identities — is two
+// flat arrays with no per-entry allocation.
+//
+// Pointer stability: pointers returned by probe/insert remain valid until
+// the next insert (which may grow and relocate the table); remove only
+// tombstones a slot and never relocates entries. The protocol layer
+// performs at most one insert per transaction (in lookupEntry), before any
+// entry pointer is retained.
+type dirTable struct {
+	slots []dirSlot
+	arena []int16 // len(slots) * p sharer identities
+	p     int     // sharer pointers per entry
+	mask  uint64
+	shift uint
+	live  int
+	dead  int
+}
+
+// dirTableInitialSlots matches the old map's size hint.
+const dirTableInitialSlots = 1024
+
+func newDirTable(p int) *dirTable {
+	d := &dirTable{p: p}
+	d.alloc(dirTableInitialSlots)
+	return d
+}
+
+func (d *dirTable) alloc(capacity int) {
+	d.slots = make([]dirSlot, capacity)
+	d.arena = make([]int16, capacity*d.p)
+	d.mask = uint64(capacity - 1)
+	d.shift = uint(64 - bits.TrailingZeros(uint(capacity)))
+	d.live, d.dead = 0, 0
+}
+
+// backing returns slot i's segment of the identity arena, zero-length with
+// capacity p.
+func (d *dirTable) backing(i uint64) []int16 {
+	base := int(i) * d.p
+	return d.arena[base : base : base+d.p]
+}
+
+func (d *dirTable) probe(la mem.Addr) *dirEntry {
+	key := mem.LineKey(la)
+	i := hashKey(key, d.shift)
+	for {
+		s := &d.slots[i]
+		if s.state == dirSlotLive && s.key == key {
+			return &s.entry
+		}
+		if s.state == dirSlotEmpty {
+			return nil
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// insert claims a slot for la and returns its entry, zeroed except for the
+// arena-backed sharer set. The line must not be present.
+func (d *dirTable) insert(la mem.Addr) *dirEntry {
+	if (d.live+d.dead+1)*4 > len(d.slots)*3 {
+		d.grow()
+	}
+	key := mem.LineKey(la)
+	i := hashKey(key, d.shift)
+	target := -1 // first tombstone on the probe path, reusable
+	for {
+		s := &d.slots[i]
+		if s.state == dirSlotEmpty {
+			if target < 0 {
+				target = int(i)
+			}
+			break
+		}
+		if s.state == dirSlotLive {
+			if s.key == key {
+				panic(fmt.Sprintf("sim: directory insert of resident line %#x", la))
+			}
+		} else if target < 0 {
+			target = int(i)
+		}
+		i = (i + 1) & d.mask
+	}
+	s := &d.slots[target]
+	if s.state == dirSlotDead {
+		d.dead--
+	}
+	s.key = key
+	s.state = dirSlotLive
+	s.entry = dirEntry{sharers: coherence.NewSharerSetBacked(d.p, d.backing(uint64(target)))}
+	d.live++
+	return &s.entry
+}
+
+// remove tombstones la's slot. The line must be present.
+func (d *dirTable) remove(la mem.Addr) {
+	key := mem.LineKey(la)
+	i := hashKey(key, d.shift)
+	for {
+		s := &d.slots[i]
+		if s.state == dirSlotLive && s.key == key {
+			s.entry = dirEntry{}
+			s.key = 0
+			s.state = dirSlotDead
+			d.live--
+			d.dead++
+			return
+		}
+		if s.state == dirSlotEmpty {
+			panic(fmt.Sprintf("sim: directory remove of absent line %#x", la))
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// grow rehashes into a table sized for the live population (doubling when
+// genuinely full, merely dropping tombstones otherwise), rebinding every
+// entry's sharer identities into the new arena.
+func (d *dirTable) grow() {
+	capacity := len(d.slots)
+	if (d.live+1)*2 >= capacity {
+		capacity *= 2
+	}
+	old := d.slots
+	d.alloc(capacity)
+	for oi := range old {
+		s := &old[oi]
+		if s.state != dirSlotLive {
+			continue
+		}
+		i := hashKey(s.key, d.shift)
+		for d.slots[i].state == dirSlotLive {
+			i = (i + 1) & d.mask
+		}
+		ns := &d.slots[i]
+		ns.key = s.key
+		ns.state = dirSlotLive
+		ns.entry = s.entry
+		ns.entry.sharers.Rebind(d.backing(i))
+		d.live++
+	}
+}
+
+func (d *dirTable) forEach(fn func(la mem.Addr, e *dirEntry)) {
+	for i := range d.slots {
+		if d.slots[i].state == dirSlotLive {
+			fn(mem.Addr((d.slots[i].key-1)<<mem.LineShift), &d.slots[i].entry)
+		}
+	}
+}
+
+// tileDir is the per-tile directory handle: the flat table in the fast
+// core, a plain Go map in the reference core. Exactly one of the two
+// representations is active.
+type tileDir struct {
+	flat *dirTable
+	ref  map[mem.Addr]*dirEntry
+	p    int
+}
+
+func newTileDir(p int, reference bool) tileDir {
+	if reference {
+		return tileDir{ref: make(map[mem.Addr]*dirEntry, dirTableInitialSlots), p: p}
+	}
+	return tileDir{flat: newDirTable(p), p: p}
+}
+
+func (d *tileDir) probe(la mem.Addr) *dirEntry {
+	if d.ref != nil {
+		return d.ref[la]
+	}
+	return d.flat.probe(la)
+}
+
+func (d *tileDir) insert(la mem.Addr) *dirEntry {
+	if d.ref != nil {
+		e := &dirEntry{sharers: coherence.NewSharerSet(d.p)}
+		d.ref[la] = e
+		return e
+	}
+	return d.flat.insert(la)
+}
+
+func (d *tileDir) remove(la mem.Addr) {
+	if d.ref != nil {
+		delete(d.ref, la)
+		return
+	}
+	d.flat.remove(la)
+}
+
+func (d *tileDir) forEach(fn func(la mem.Addr, e *dirEntry)) {
+	if d.ref != nil {
+		for la, e := range d.ref {
+			fn(la, e)
+		}
+		return
+	}
+	d.flat.forEach(fn)
+}
+
+func (d *tileDir) size() int {
+	if d.ref != nil {
+		return len(d.ref)
+	}
+	return d.flat.live
+}
+
+// The per-core miss-classification history and the golden/DRAM version
+// stores are flatmap.Tables keyed by mem.LineKey: absent lines read as the
+// zero value, matching the reference maps' semantics.
+
+// histInitialSlots matches the old per-core history map's size hint.
+const histInitialSlots = 4096
+
+const verInitialSlots = 4096
+
+// histStore is the per-core history handle: flat table or reference map.
+type histStore struct {
+	flat *flatmap.Table[uint8]
+	ref  map[mem.Addr]uint8
+}
+
+func newHistStore(reference bool) histStore {
+	if reference {
+		return histStore{ref: make(map[mem.Addr]uint8, histInitialSlots)}
+	}
+	return histStore{flat: flatmap.New[uint8](histInitialSlots)}
+}
+
+func (h *histStore) get(la mem.Addr) uint8 {
+	if h.ref != nil {
+		return h.ref[la]
+	}
+	v, _ := h.flat.Get(mem.LineKey(la))
+	return v
+}
+
+func (h *histStore) set(la mem.Addr, v uint8) {
+	if h.ref != nil {
+		h.ref[la] = v
+		return
+	}
+	*h.flat.Slot(mem.LineKey(la)) = v
+}
+
+// verStore is a version-store handle: flat table or reference map.
+type verStore struct {
+	flat *flatmap.Table[uint64]
+	ref  map[mem.Addr]uint64
+}
+
+func newVerStore(reference bool) verStore {
+	if reference {
+		return verStore{ref: make(map[mem.Addr]uint64)}
+	}
+	return verStore{flat: flatmap.New[uint64](verInitialSlots)}
+}
+
+func (v *verStore) get(la mem.Addr) uint64 {
+	if v.ref != nil {
+		return v.ref[la]
+	}
+	val, _ := v.flat.Get(mem.LineKey(la))
+	return val
+}
+
+func (v *verStore) set(la mem.Addr, val uint64) {
+	if v.ref != nil {
+		v.ref[la] = val
+		return
+	}
+	*v.flat.Slot(mem.LineKey(la)) = val
+}
+
+// bump increments la's version and returns the new value.
+func (v *verStore) bump(la mem.Addr) uint64 {
+	if v.ref != nil {
+		v.ref[la]++
+		return v.ref[la]
+	}
+	p := v.flat.Slot(mem.LineKey(la))
+	*p++
+	return *p
+}
+
+// forEach visits every line with a non-zero recorded version (test and
+// differential-snapshot helper; zero-version entries created by Slot are
+// indistinguishable from absent lines, matching map semantics where reads
+// never materialize entries).
+func (v *verStore) forEach(fn func(la mem.Addr, val uint64)) {
+	if v.ref != nil {
+		for la, val := range v.ref {
+			if val != 0 {
+				fn(la, val)
+			}
+		}
+		return
+	}
+	v.flat.ForEach(func(key uint64, val uint64) {
+		if val != 0 {
+			fn(mem.Addr((key-1)<<mem.LineShift), val)
+		}
+	})
+}

@@ -18,6 +18,13 @@ const maxProbesPerOp = 8
 // consumed instruction line. Instruction lines live in the R-NUCA
 // per-cluster replica slices; fetch hits are overlapped by the in-order
 // pipeline and cost no time, misses stall the core.
+//
+// Once the whole code footprint is resident in the L1-I (l1iWarm) every
+// probe is a hit by construction — no insertions means no evictions, so
+// residency is permanent — and the walk reduces to counting: same hit
+// totals and program-counter trajectory, no tag-array traffic. The
+// accumulator is still decremented one probe at a time so its floating-
+// point trajectory stays bit-identical to the probing path.
 func (s *Simulator) instrFetch(c *coreState, gap uint32) {
 	instrs := s.cfg.FetchPerOp + float64(gap)
 	c.energyAcc += instrs
@@ -28,22 +35,34 @@ func (s *Simulator) instrFetch(c *coreState, gap uint32) {
 	// One instruction line holds 8 instructions (64 B / 8 B encoding).
 	c.fetchAcc += instrs / 8
 	probes := 0
-	for c.fetchAcc >= 1 && probes < maxProbesPerOp {
-		c.fetchAcc--
-		probes++
-		c.pc++
-		if c.pc >= s.cfg.CodeLines {
-			c.pc = 0
+	if c.l1iWarm {
+		for c.fetchAcc >= 1 && probes < maxProbesPerOp {
+			c.fetchAcc--
+			probes++
+			c.pc++
+			if c.pc >= s.cfg.CodeLines {
+				c.pc = 0
+			}
 		}
-		addr := codeBase + mem.Addr(c.pc)*mem.LineBytes
+		c.l1iHits += uint64(probes)
+	} else {
 		l1i := s.tiles[c.id].l1i
-		if line := l1i.Probe(addr); line != nil {
-			c.l1iHits++
-			l1i.Touch(line, c.now)
-			continue
+		for c.fetchAcc >= 1 && probes < maxProbesPerOp {
+			c.fetchAcc--
+			probes++
+			c.pc++
+			if c.pc >= s.cfg.CodeLines {
+				c.pc = 0
+			}
+			addr := codeBase + mem.Addr(c.pc)*mem.LineBytes
+			if line := l1i.Probe(addr); line != nil {
+				c.l1iHits++
+				l1i.Touch(line, c.now)
+				continue
+			}
+			c.l1iMisses++
+			s.instrMiss(c, addr)
 		}
-		c.l1iMisses++
-		s.instrMiss(c, addr)
 	}
 	if c.fetchAcc > float64(maxProbesPerOp) {
 		c.fetchAcc = float64(maxProbesPerOp)
@@ -85,7 +104,14 @@ func (s *Simulator) instrMiss(c *coreState, addr mem.Addr) {
 	l1l2 += tEnd - t
 
 	l1i := s.tiles[c.id].l1i
-	line, _, _ := l1i.Insert(la) // instruction victims are clean; drop silently
+	line, _, evicted := l1i.Insert(la) // instruction victims are clean; drop silently
+	if evicted {
+		c.l1iResident-- // the victim was a resident code line
+	}
+	c.l1iResident++
+	if c.l1iResident == s.cfg.CodeLines {
+		c.l1iWarm = true
+	}
 	line.State = lineS
 	line.Home = int16(home)
 	l1i.Touch(line, tEnd)

@@ -94,7 +94,7 @@ func (p *mesiProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Addr
 
 	tEnd := p.grantLine(c, kind, la, home, entry, l2line, upgrade, t)
 	l1l2 += tEnd - t
-	c.history[la] = hCached
+	c.history.set(la, hCached)
 
 	c.l1d.Record(outcome)
 	c.bd.L1ToL2 += float64(l1l2)

@@ -99,11 +99,13 @@ func newProtocol(s *Simulator) Protocol {
 
 // protocolCore is the slice of a protocol implementation the shared
 // helpers call back into: the protocol's miss/transaction walk and its
-// directory-entry allocator (classifier-bearing for adaptive,
-// classifier-free full-map for the baselines).
+// directory-entry initializer (classifier-bearing for adaptive,
+// classifier-free full-map for the baselines). initDirEntry receives a
+// zeroed entry whose sharer set is already bound to the directory's
+// identity arena.
 type protocolCore interface {
 	missPath(c *coreState, kind mem.AccessKind, addr mem.Addr, upgrade bool)
-	newDirEntry() *dirEntry
+	initDirEntry(e *dirEntry)
 }
 
 // dataAccess executes the protocol-neutral L1 hit path — reads hit in any
@@ -148,7 +150,7 @@ func (s *Simulator) lookupEntry(p protocolCore, home int, la mem.Addr, t mem.Cyc
 	entry *dirEntry, l2line *cache.Line, tOut, wait, offchip mem.Cycle) {
 
 	ht := &s.tiles[home]
-	entry = ht.dir[la]
+	entry = ht.dir.probe(la)
 	l2line = ht.l2.Probe(la)
 	if l2line == nil {
 		if entry != nil {
@@ -158,8 +160,8 @@ func (s *Simulator) lookupEntry(p protocolCore, home int, la mem.Addr, t mem.Cyc
 		l2line, fillDone = s.l2Fill(home, la, t)
 		offchip = fillDone - t
 		t = fillDone
-		entry = p.newDirEntry()
-		ht.dir[la] = entry
+		entry = ht.dir.insert(la)
+		p.initDirEntry(entry)
 	} else if entry == nil {
 		panic(fmt.Sprintf("sim: data access to instruction line %#x", la))
 	}
@@ -179,7 +181,7 @@ func (s *Simulator) missOutcome(c *coreState, la mem.Addr, upgrade bool) stats.M
 	if upgrade {
 		return stats.MissUpgrade
 	}
-	switch c.history[la] {
+	switch c.history.get(la) {
 	case hNever:
 		return stats.MissCold
 	case hEvicted, hCached:
@@ -219,7 +221,7 @@ func (s *Simulator) l2Fill(home int, la mem.Addr, t mem.Cycle) (*cache.Line, mem
 	if evicted {
 		s.proto.L2Evict(home, victim, t)
 	}
-	line.Version = s.dramVer[la]
+	line.Version = s.dramVer.get(la)
 	if s.cfg.CheckValues {
 		s.checkVersion("DRAM fill", la, line.Version)
 	}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"lacc/internal/cache"
@@ -43,7 +42,10 @@ const (
 const codeBase mem.Addr = 1 << 40
 
 // dirEntry is a directory entry integrated with an L2 line: MESI state,
-// ACKwise sharer list and the locality classifier of the paper.
+// ACKwise sharer list and the locality classifier of the paper. Entries are
+// stored by value inside the flat directory table (see flat.go); only the
+// adaptive protocol populates cls, drawing from the simulator's classifier
+// pool.
 type dirEntry struct {
 	state     coherence.State
 	sharers   coherence.SharerSet
@@ -57,7 +59,7 @@ type tile struct {
 	l1i *cache.Cache
 	l1d *cache.Cache
 	l2  *cache.Cache
-	dir map[mem.Addr]*dirEntry
+	dir tileDir
 }
 
 // coreState is one core's simulation context.
@@ -65,13 +67,19 @@ type coreState struct {
 	id     int
 	now    mem.Cycle
 	stream trace.Stream
+	// chunks is stream's batch interface when supported; buf/bufIdx hold
+	// the in-flight chunk so the run loop consumes accesses with a slice
+	// index instead of a dynamic dispatch each.
+	chunks trace.ChunkStream
+	buf    []mem.Access
+	bufIdx int
 	bd     stats.TimeBreakdown
 	l1d    stats.MissStats
 
 	l1iHits   uint64
 	l1iMisses uint64
 
-	history map[mem.Addr]uint8
+	history histStore
 
 	done bool
 
@@ -79,6 +87,11 @@ type coreState struct {
 	pc        int
 	fetchAcc  float64 // pending instruction-line fetches
 	energyAcc float64 // pending fractional L1I energy events
+	// l1iResident counts resident code lines; once it reaches
+	// Config.CodeLines the L1-I can no longer miss (l1iWarm) and the fetch
+	// walk short-circuits to hit counting.
+	l1iResident int
+	l1iWarm     bool
 
 	// Synchronization state.
 	waitingBarrier bool
@@ -108,8 +121,15 @@ type Simulator struct {
 	tiles []tile
 	cores []coreState
 
-	golden  map[mem.Addr]uint64 // committed version per line
-	dramVer map[mem.Addr]uint64 // version resident in DRAM
+	// reference selects the map-backed storage layout (the pre-flat core)
+	// instead of the open-addressed tables and arenas of flat.go. The two
+	// layouts are behaviorally identical; the reference core exists so
+	// differential tests can replay identical streams through both and
+	// compare every result bit (see differential_test.go).
+	reference bool
+
+	golden  verStore // committed version per line
+	dramVer verStore // version resident in DRAM
 
 	locks     map[uint64]*lockState
 	barrierID mem.Addr
@@ -130,24 +150,48 @@ type Simulator struct {
 	replicaInserts   uint64
 	replicaEvictions uint64
 
+	// clsPool recycles per-entry classifiers in the fast core (adaptive
+	// protocol only); the reference core allocates fresh ones like the old
+	// implementation did, so a broken Reset would show up differentially.
+	clsPool *core.ClassifierPool
+
+	// Transaction scratch, reused to keep the hot path allocation-free:
+	// idScratch is a free-list of sharer-identity snapshots taken before
+	// mutating multicast loops; the broadcast buffers hold per-tile arrival
+	// times for the two (non-nesting) broadcast sites.
+	idScratch  [][]int16
+	bcastInval []mem.Cycle
+	bcastEvict []mem.Cycle
+
 	runQ coreQueue
 }
 
 // New builds a simulator for cfg.
 func New(cfg Config) (*Simulator, error) {
+	return newSimulator(cfg, false)
+}
+
+// newReference builds a simulator using the legacy map-backed storage
+// layout. It exists for the differential tests only.
+func newReference(cfg Config) (*Simulator, error) {
+	return newSimulator(cfg, true)
+}
+
+func newSimulator(cfg Config, reference bool) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg: cfg,
+		cfg:       cfg,
+		reference: reference,
 		mesh: network.New(network.Config{
 			Width:      cfg.MeshWidth,
 			Height:     cfg.Cores / cfg.MeshWidth,
 			HopLatency: cfg.HopLatency,
 		}),
 		nuca:    nuca.New(cfg.Cores, cfg.MeshWidth),
-		golden:  make(map[mem.Addr]uint64),
-		dramVer: make(map[mem.Addr]uint64),
+		golden:  newVerStore(reference),
+		dramVer: newVerStore(reference),
 		locks:   make(map[uint64]*lockState),
 	}
 	s.dram = dram.New(dram.Config{
@@ -156,13 +200,18 @@ func New(cfg Config) (*Simulator, error) {
 		BytesPerCycle: cfg.DRAMBytesPerCycle,
 		Tiles:         dram.DefaultTiles(cfg.MemControllers, cfg.MeshWidth, cfg.Cores/cfg.MeshWidth),
 	})
+	dirPointers := cfg.AckwisePointers
+	if s.cfg.protocolKind() != ProtocolAdaptive {
+		// The baselines use a full-map vector regardless of AckwisePointers.
+		dirPointers = cfg.Cores
+	}
 	s.tiles = make([]tile, cfg.Cores)
 	for i := range s.tiles {
 		s.tiles[i] = tile{
 			l1i: cache.New(cfg.L1ISizeKB*1024, cfg.L1IWays),
 			l1d: cache.New(cfg.L1DSizeKB*1024, cfg.L1DWays),
 			l2:  cache.New(cfg.L2SizeKB*1024, cfg.L2Ways),
-			dir: make(map[mem.Addr]*dirEntry, 1024),
+			dir: newTileDir(dirPointers, reference),
 		}
 	}
 	s.proto = newProtocol(s)
@@ -185,20 +234,32 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 		s.cores[i] = coreState{
 			id:      i,
 			stream:  streams[i],
-			history: make(map[mem.Addr]uint8, 4096),
+			history: newHistStore(s.reference),
+		}
+		if cs, ok := streams[i].(trace.ChunkStream); ok {
+			s.cores[i].chunks = cs
 		}
 	}
-	s.runQ = coreQueue{sim: s}
+	s.runQ.q = make([]queuedCore, 0, s.cfg.Cores)
 	for i := range s.cores {
-		heap.Push(&s.runQ, i)
+		s.runQ.push(s.cores[i].now, int32(i))
 	}
 
-	for s.runQ.Len() > 0 {
-		id := heap.Pop(&s.runQ).(int)
+	// The globally earliest core executes one operation as an atomic
+	// transaction, then is re-keyed at its advanced clock. The core stays
+	// at the heap root while it executes (nothing else touches the queue
+	// mid-transaction), so the requeue is a replaceTop — a single
+	// sift-down that degenerates to two comparisons in the common case of
+	// a core staying earliest across consecutive L1 hits — instead of a
+	// full pop+push cycle. Keys are unique ((time, id) with ids distinct),
+	// so the execution order is identical to the pop+push formulation.
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.top()
 		c := &s.cores[id]
-		a, ok := c.stream.Next()
+		a, ok := c.next()
 		if !ok {
 			c.done = true
+			s.runQ.popTop()
 			s.maybeReleaseBarrier()
 			continue
 		}
@@ -210,14 +271,16 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 		case mem.Read, mem.Write:
 			s.instrFetch(c, a.Gap)
 			s.proto.DataAccess(c, a.Kind, a.Addr)
-			heap.Push(&s.runQ, id)
+			s.runQ.replaceTop(c.now, int32(id))
 		case mem.Barrier:
+			s.runQ.popTop()
 			s.barrierArrive(c, a.Addr)
 		case mem.Lock:
+			s.runQ.popTop() // lockAcquire re-queues the core when granted
 			s.lockAcquire(c, uint64(a.Addr))
 		case mem.Unlock:
 			s.lockRelease(c, uint64(a.Addr))
-			heap.Push(&s.runQ, id)
+			s.runQ.replaceTop(c.now, int32(id))
 		default:
 			return nil, fmt.Errorf("sim: core %d emitted unknown op %v", id, a.Kind)
 		}
@@ -231,6 +294,25 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 		}
 	}
 	return s.collect(), nil
+}
+
+// next returns the core's next trace operation, consuming whole chunks
+// from batch-capable streams.
+func (c *coreState) next() (mem.Access, bool) {
+	if c.bufIdx < len(c.buf) {
+		a := c.buf[c.bufIdx]
+		c.bufIdx++
+		return a, true
+	}
+	if c.chunks != nil {
+		chunk, ok := c.chunks.NextChunk()
+		if !ok {
+			return mem.Access{}, false
+		}
+		c.buf, c.bufIdx = chunk, 1
+		return chunk[0], true
+	}
+	return c.stream.Next()
 }
 
 // checkQuiescence verifies every core terminated (catches workload bugs
@@ -293,7 +375,7 @@ func (s *Simulator) maybeReleaseBarrier() {
 		c.bd.Sync += float64(release - c.barrierArrive)
 		c.now = release
 		c.waitingBarrier = false
-		heap.Push(&s.runQ, i)
+		s.runQ.push(c.now, int32(i))
 	}
 	s.barrierN = 0
 }
@@ -312,7 +394,7 @@ func (s *Simulator) lockAcquire(c *coreState, id uint64) {
 		lat := mem.Cycle(s.cfg.LockLatency)
 		c.bd.Sync += float64(lat)
 		c.now += lat
-		heap.Push(&s.runQ, c.id)
+		s.runQ.push(c.now, int32(c.id))
 		return
 	}
 	l.queue = append(l.queue, lockWaiter{core: c.id, arrival: c.now})
@@ -340,7 +422,7 @@ func (s *Simulator) lockRelease(c *coreState, id uint64) {
 	wc := &s.cores[w.core]
 	wc.bd.Sync += float64(grant - w.arrival)
 	wc.now = grant
-	heap.Push(&s.runQ, w.core)
+	s.runQ.push(wc.now, int32(w.core))
 }
 
 // collect aggregates per-core statistics into a Result.
@@ -397,43 +479,115 @@ func (s *Simulator) collect() *Result {
 // goldenWrite commits a write to the golden store and returns the new
 // version.
 func (s *Simulator) goldenWrite(la mem.Addr) uint64 {
-	s.golden[la]++
-	return s.golden[la]
+	return s.golden.bump(la)
 }
 
 // checkVersion asserts a read observed the latest committed write.
 func (s *Simulator) checkVersion(ctx string, la mem.Addr, ver uint64) {
-	if want := s.golden[la]; ver != want {
+	if want := s.golden.get(la); ver != want {
 		panic(fmt.Sprintf("sim: coherence violation at %s: line %#x version %d, golden %d",
 			ctx, la, ver, want))
 	}
 }
 
-// coreQueue is a min-heap of runnable core ids ordered by local time with
-// core id as the deterministic tiebreak.
-type coreQueue struct {
-	sim *Simulator
-	ids []int
-}
-
-func (q *coreQueue) Len() int { return len(q.ids) }
-
-func (q *coreQueue) Less(i, j int) bool {
-	a, b := &q.sim.cores[q.ids[i]], &q.sim.cores[q.ids[j]]
-	if a.now != b.now {
-		return a.now < b.now
+// removeDirEntry releases la's directory entry at its home tile, recycling
+// the entry's classifier through the pool in the fast core.
+func (s *Simulator) removeDirEntry(home int, la mem.Addr, e *dirEntry) {
+	if e.cls != nil {
+		if !s.reference {
+			s.clsPool.Put(e.cls)
+		}
+		e.cls = nil
 	}
-	return a.id < b.id
+	s.tiles[home].dir.remove(la)
 }
 
-func (q *coreQueue) Swap(i, j int) { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
+// borrowIDs returns a reusable copy of src, so mutating multicast loops can
+// iterate a stable snapshot of a sharer list without allocating. Pair with
+// returnIDs. The free-list (rather than a single buffer) keeps accidental
+// nesting safe.
+func (s *Simulator) borrowIDs(src []int16) []int16 {
+	var buf []int16
+	if n := len(s.idScratch); n > 0 {
+		buf = s.idScratch[n-1]
+		s.idScratch = s.idScratch[:n-1]
+	}
+	return append(buf[:0], src...)
+}
 
-func (q *coreQueue) Push(x any) { q.ids = append(q.ids, x.(int)) }
+func (s *Simulator) returnIDs(buf []int16) {
+	s.idScratch = append(s.idScratch, buf)
+}
 
-func (q *coreQueue) Pop() any {
-	old := q.ids
-	n := len(old)
-	x := old[n-1]
-	q.ids = old[:n-1]
-	return x
+// queuedCore is one run-queue entry: a core and the local time at which it
+// became runnable. A core's clock is final when pushed, so the key is a
+// snapshot, and keys are unique (a core is queued at most once; id breaks
+// time ties), making pop order fully deterministic.
+type queuedCore struct {
+	now mem.Cycle
+	id  int32
+}
+
+// coreQueue is a binary min-heap of runnable cores ordered by (local time,
+// core id). It replaces container/heap: the interface-based comparator and
+// its pointer chase into the core array was the hottest single symbol of
+// the simulation loop.
+type coreQueue struct {
+	q []queuedCore
+}
+
+func (k queuedCore) less(o queuedCore) bool {
+	return k.now < o.now || (k.now == o.now && k.id < o.id)
+}
+
+func (q *coreQueue) push(now mem.Cycle, id int32) {
+	q.q = append(q.q, queuedCore{now: now, id: id})
+	i := len(q.q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.q[i].less(q.q[parent]) {
+			break
+		}
+		q.q[i], q.q[parent] = q.q[parent], q.q[i]
+		i = parent
+	}
+}
+
+// top returns the earliest core without removing it.
+func (q *coreQueue) top() int { return int(q.q[0].id) }
+
+// replaceTop re-keys the root core at its advanced clock.
+func (q *coreQueue) replaceTop(now mem.Cycle, id int32) {
+	q.q[0] = queuedCore{now: now, id: id}
+	q.siftDown()
+}
+
+// popTop removes the root core.
+func (q *coreQueue) popTop() {
+	last := len(q.q) - 1
+	q.q[0] = q.q[last]
+	q.q = q.q[:last]
+	if last > 0 {
+		q.siftDown()
+	}
+}
+
+func (q *coreQueue) siftDown() {
+	n := len(q.q)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.q[l].less(q.q[smallest]) {
+			smallest = l
+		}
+		if r < n && q.q[r].less(q.q[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.q[i], q.q[smallest] = q.q[smallest], q.q[i]
+		i = smallest
+	}
 }

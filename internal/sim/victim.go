@@ -90,7 +90,7 @@ func (s *adaptiveProtocol) replicaRead(c *coreState, addr mem.Addr) bool {
 	}
 	c.l1d.Record(stats.MissCapacity) // a miss the replica made cheap
 	c.bd.L1ToL2 += float64(t - c.now)
-	c.history[la] = hCached
+	c.history.set(la, hCached)
 	c.now = t
 	return true
 }
@@ -141,12 +141,12 @@ func (s *adaptiveProtocol) notifyReplicaEviction(tile int, victim cache.Line, t 
 	s.mesh.Unicast(tile, home, 1, t)
 
 	ht := &s.tiles[home]
-	entry := ht.dir[la]
+	entry := ht.dir.probe(la)
 	if entry == nil {
 		panic(fmt.Sprintf("sim: replica eviction of line %#x without directory entry", la))
 	}
 	s.dropSharershipAtHome(entry, tile, victim.Util)
-	s.cores[tile].history[la] = hEvicted
+	s.cores[tile].history.set(la, hEvicted)
 }
 
 // invalidateTileCopy removes a tile's copy of a line wherever it lives —
