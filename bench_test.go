@@ -141,6 +141,20 @@ func BenchmarkAckwiseVsFullmap(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiExperimentSweep measures the experiment scheduler end to
+// end: three overlapping PCT sweeps in one session, the shape of a real
+// multi-figure lacc-bench invocation. Corpus caching, cross-experiment
+// result dedup and simulator reuse all land here, so this is the number
+// the sweep-level regression gate tracks.
+func BenchmarkMultiExperimentSweep(b *testing.B) {
+	b.ReportAllocs() // body shared with the benchcore regression harness
+	for i := 0; i < b.N; i++ {
+		if err := experiments.CoreBenchMultiSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (accesses per
 // second) on one representative run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -9,10 +9,14 @@ import (
 	"lacc/internal/experiments"
 )
 
-// The benchcore experiment is the benchmark-regression harness: it runs the
-// two core simulator benchmarks (the same workload/configuration pairs as
-// BenchmarkAckwiseVsFullmap and BenchmarkFig8And9Sweep in bench_test.go)
-// through testing.Benchmark and reports ns/op, allocs/op and B/op.
+// The benchcore experiment is the benchmark-regression harness: it runs
+// the tracked core benchmarks (the same workload/configuration pairs as
+// BenchmarkAckwiseVsFullmap, BenchmarkFig8And9Sweep and
+// BenchmarkMultiExperimentSweep in bench_test.go) through
+// testing.Benchmark and reports ns/op, allocs/op and B/op. MultiSweep is
+// the experiment-level number: three overlapping PCT sweeps in one
+// session, covering the corpus cache, cross-experiment dedup and the
+// simulator pool.
 //
 //	lacc-bench -json benchcore > BENCH_core.json     # refresh the baseline
 //	lacc-bench -check-bench BENCH_core.json benchcore # CI regression gate
@@ -56,6 +60,13 @@ var coreBenchmarks = []struct {
 	{"PCTSweep", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := experiments.CoreBenchPCTSweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"MultiSweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := experiments.CoreBenchMultiSweep(); err != nil {
 				b.Fatal(err)
 			}
 		}

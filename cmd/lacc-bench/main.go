@@ -44,15 +44,26 @@ func main() {
 		timing    = flag.Bool("time", true, "report wall-clock time per experiment")
 		jsonOut   = flag.Bool("json", false, "benchcore: emit results as JSON to stdout")
 		checkFile = flag.String("check-bench", "", "benchcore: compare allocs/op against this baseline JSON, exit nonzero on >20% regression")
+		spillDir  = flag.String("corpus-spill", "", "spill materialized traces above -corpus-spill-min accesses to this directory (for large -scale runs)")
+		spillMin  = flag.Uint64("corpus-spill-min", 8<<20, "minimum corpus size in accesses before spilling to -corpus-spill")
 	)
 	flag.Parse()
 
+	if *spillDir != "" {
+		if err := workloads.SetCorpusSpill(*spillDir, *spillMin); err != nil {
+			fatal(fmt.Errorf("-corpus-spill: %w", err))
+		}
+	}
+
+	// One session for the whole invocation: experiments share simulation
+	// results (figures 8-11 share most PCT points) and pooled simulators.
 	opts := experiments.Options{
 		Cores:       *cores,
 		MeshWidth:   *meshWidth,
 		Scale:       *scale,
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Session:     experiments.NewSession(),
 	}
 	if *quick {
 		opts.Cores = 16

@@ -9,6 +9,18 @@ import (
 // the paper's setup: 64 cores, scale 1.0, all 21 benchmarks.
 type ExperimentOptions = experiments.Options
 
+// ExperimentSession carries work-avoidance state across experiment calls:
+// identical (benchmark, configuration) simulations run once per session,
+// and workers reuse pooled simulators. Set ExperimentOptions.Session to
+// share one across a batch of experiments (as lacc-bench does per
+// invocation).
+type ExperimentSession = experiments.Session
+
+// NewExperimentSession returns an empty session.
+func NewExperimentSession() *ExperimentSession {
+	return experiments.NewSession()
+}
+
 // PCTSweep holds one simulation per (benchmark, PCT) — the data behind
 // Figures 8, 9, 10 and 11. Render the individual figures with RenderFig8,
 // RenderFig9, RenderFig10 and Fig11().Render.

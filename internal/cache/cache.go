@@ -87,6 +87,18 @@ func New(sizeBytes, ways int) *Cache {
 	return c
 }
 
+// Reset invalidates every line and zeroes the replacement clock and
+// eviction counter, returning the cache to its post-New state without
+// reallocating the tag arrays. Geometry is unchanged.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
+	}
+	c.tick = 0
+	c.Evictions = 0
+}
+
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
 

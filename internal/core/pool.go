@@ -32,6 +32,22 @@ func NewClassifierPool(cores, limitedK int) *ClassifierPool {
 	return &ClassifierPool{cores: cores, k: limitedK}
 }
 
+// Matches reports whether the pool's classifiers are interchangeable with
+// NewClassifier(cores, limitedK)'s: same core count and same shape
+// (limitedK values selecting the Complete classifier are equivalent).
+// Simulator reuse keeps a pool across runs only when this holds.
+func (p *ClassifierPool) Matches(cores, limitedK int) bool {
+	if p.cores != cores {
+		return false
+	}
+	pComplete := p.k <= 0 || p.k >= p.cores
+	nComplete := limitedK <= 0 || limitedK >= cores
+	if pComplete || nComplete {
+		return pComplete == nComplete
+	}
+	return p.k == limitedK
+}
+
 // Get returns a pristine classifier, reusing a released one when available.
 func (p *ClassifierPool) Get() Classifier {
 	if n := len(p.free); n > 0 {

@@ -73,6 +73,30 @@ func New(cfg Config) *Model {
 	return &Model{cfg: cfg, nextFree: make([]mem.Cycle, cfg.Controllers)}
 }
 
+// Reset frees every controller and zeroes the traffic counters, returning
+// the model to its post-New state for the same configuration.
+func (m *Model) Reset() {
+	clear(m.nextFree)
+	m.Reads, m.Writes, m.BytesMoved, m.QueueCycles = 0, 0, 0, 0
+}
+
+// Matches reports whether the model was built for exactly cfg, so callers
+// can reuse it across runs.
+func (m *Model) Matches(cfg Config) bool {
+	if m.cfg.Controllers != cfg.Controllers ||
+		m.cfg.LatencyCycles != cfg.LatencyCycles ||
+		m.cfg.BytesPerCycle != cfg.BytesPerCycle ||
+		len(m.cfg.Tiles) != len(cfg.Tiles) {
+		return false
+	}
+	for i, t := range cfg.Tiles {
+		if m.cfg.Tiles[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
 // ControllerOf maps a line address to its controller (line-interleaved).
 func (m *Model) ControllerOf(a mem.Addr) int {
 	return int(mem.LineIndex(a)) % m.cfg.Controllers

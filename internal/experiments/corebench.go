@@ -28,3 +28,29 @@ var CoreBenchPCTs = []int{1, 4, 8}
 func CoreBenchPCTSweep() (*PCTSweep, error) {
 	return RunPCTSweep(CoreBenchOptions("streamcluster", "matmul"), CoreBenchPCTs)
 }
+
+// CoreBenchMultiSweepPCTs are the three overlapping PCT lists of the
+// tracked multi-experiment sweep, shaped like the real lacc-bench
+// invocation where Figures 8, 10 and 11 share most of their PCT points:
+// the second list is a subset of the first, the third adds two points.
+var CoreBenchMultiSweepPCTs = [][]int{
+	{1, 2, 4, 8},
+	{1, 4, 8},
+	{1, 2, 4, 8, 12},
+}
+
+// CoreBenchMultiSweep runs one iteration of the tracked multi-experiment
+// sweep: three PCT sweeps over one session, exercising the whole
+// work-avoidance stack — corpus reuse, cross-experiment result dedup and
+// the Reset-backed simulator pool. This is the experiment-level benchmark
+// the allocs/op regression gate tracks (see cmd/lacc-bench).
+func CoreBenchMultiSweep() error {
+	o := CoreBenchOptions("streamcluster", "matmul")
+	o.Session = NewSession()
+	for _, pcts := range CoreBenchMultiSweepPCTs {
+		if _, err := RunPCTSweep(o, pcts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,9 +18,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"lacc/internal/sim"
 	"lacc/internal/workloads"
@@ -44,6 +46,13 @@ type Options struct {
 	// Config customizes the base machine; nil uses sim.Default. PCT and
 	// classifier fields are overridden per experiment as needed.
 	Config *sim.Config
+	// Session, when set, shares the simulation-result cache and the
+	// reusable-simulator pool across experiment calls, so identical
+	// (benchmark, configuration) jobs — the PCT points Figures 8, 10 and
+	// 11 have in common, every experiment's baseline runs — simulate once
+	// per session instead of once per experiment. Nil runs the experiment
+	// with a private session (dedup within the call only).
+	Session *Session
 }
 
 func (o Options) normalize() Options {
@@ -100,59 +109,194 @@ type job struct {
 	cfg     sim.Config
 }
 
-// outcome pairs a job with its result.
-type outcome struct {
-	job job
-	res *sim.Result
-	err error
+// errAborted marks jobs skipped because an earlier job in the batch
+// failed.
+var errAborted = errors.New("aborted after earlier failure")
+
+// testJobDone, when non-nil, is invoked by each worker after finishing a
+// job. Tests use it to observe the scheduler mid-sweep (live goroutine
+// counts, executed-job counts) without timing races.
+var testJobDone func()
+
+// workItem is one claimed simulation a worker must perform.
+type workItem struct {
+	key   runKey
+	entry *runEntry
+	job   job
 }
 
-// runJobs executes all jobs with bounded parallelism and returns outcomes
+// runJobs executes all jobs with bounded parallelism and returns results
 // keyed by (bench, variant). The first simulation error aborts the batch.
+//
+// Scheduling: jobs are first deduplicated against the session's result
+// cache — identical (bench, spec, cfg) fingerprints simulate once, within
+// the batch and across every experiment sharing the session. The surviving
+// work runs on a pool of exactly min(Parallelism, jobs) worker goroutines;
+// each worker owns one reusable Simulator (drawn from the session pool,
+// Reset between jobs) and replays the benchmark's materialized corpus, so
+// a sweep generates each trace once and allocates simulator state once per
+// worker rather than once per job. Job order within a batch follows the
+// caller's slice, which groups variants of one benchmark together —
+// workers naturally replay a hot corpus.
 func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) {
-	results := make(chan outcome, len(jobs))
-	sem := make(chan struct{}, o.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		j := j
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := o.simulate(j)
-			results <- outcome{job: j, res: res, err: err}
-		}()
+	sess := o.Session
+	if sess == nil {
+		sess = NewSession()
 	}
-	wg.Wait()
-	close(results)
+	spec := o.spec()
+	keyFor := func(j job) runKey {
+		return runKey{bench: j.bench, scale: spec.Scale, seed: spec.Seed, cfg: j.cfg}
+	}
 
-	out := make(map[string]map[string]*sim.Result, len(o.Benchmarks))
-	for oc := range results {
-		if oc.err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", oc.job.bench, oc.job.variant, oc.err)
+	// Claim phase: one entry per distinct fingerprint; entries claimed by
+	// this batch become work, entries owned elsewhere are awaited below.
+	entries := make(map[runKey]*runEntry, len(jobs))
+	var work []workItem
+	for _, j := range jobs {
+		k := keyFor(j)
+		if _, seen := entries[k]; seen {
+			continue
 		}
-		m := out[oc.job.bench]
+		e, claimed := sess.claim(k)
+		entries[k] = e
+		if claimed {
+			work = append(work, workItem{key: k, entry: e, job: j})
+		}
+	}
+
+	if len(work) > 0 {
+		workers := o.Parallelism
+		if workers > len(work) {
+			workers = len(work)
+		}
+		if workers < 1 { // callers normalize, but never deadlock on a zero
+			workers = 1
+		}
+		queue := make(chan workItem, len(work))
+		for _, it := range work {
+			queue <- it
+		}
+		close(queue)
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				worker := sess.getSim()
+				for it := range queue {
+					if failed.Load() {
+						it.entry.err = errAborted
+					} else {
+						it.entry.res, it.entry.err = o.runOne(&worker, it.job)
+					}
+					if it.entry.err != nil {
+						failed.Store(true)
+						// Unpin the key before publishing the failure, so
+						// any batch (this one retrying later, or a
+						// concurrent one waiting on an aborted entry) can
+						// re-claim and run it instead of inheriting the
+						// error.
+						sess.forget(it.key)
+					}
+					close(it.entry.ready)
+					if h := testJobDone; h != nil {
+						h()
+					}
+				}
+				if worker != nil {
+					sess.putSim(worker)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	claimed := make(map[runKey]bool, len(work))
+	for _, it := range work {
+		claimed[it.key] = true
+	}
+
+	// Collection phase: every variant resolves through its fingerprint's
+	// entry (deduplicated variants share one *sim.Result).
+	out := make(map[string]map[string]*sim.Result, len(o.Benchmarks))
+	var firstErr error
+	for _, j := range jobs {
+		k := keyFor(j)
+		e := entries[k]
+		<-e.ready
+		// An abort from a DIFFERENT batch (its failure, not ours) must not
+		// poison this batch: the aborting worker unpinned the key, so
+		// re-claim and run it here, serially — this path is rare.
+		for errors.Is(e.err, errAborted) && !claimed[k] {
+			ne, own := sess.claim(k)
+			if own {
+				worker := sess.getSim()
+				ne.res, ne.err = o.runOne(&worker, j)
+				if ne.err != nil {
+					sess.forget(k)
+				}
+				if worker != nil {
+					sess.putSim(worker)
+				}
+				close(ne.ready)
+				claimed[k] = true
+			}
+			<-ne.ready
+			e = ne
+			entries[k] = e
+		}
+		if e.err != nil {
+			// Report the root cause, not an abort marker, when both exist.
+			if firstErr == nil || (errors.Is(firstErr, errAborted) && !errors.Is(e.err, errAborted)) {
+				firstErr = fmt.Errorf("experiments: %s/%s: %w", j.bench, j.variant, e.err)
+			}
+			continue
+		}
+		m := out[j.bench]
 		if m == nil {
 			m = make(map[string]*sim.Result)
-			out[oc.job.bench] = m
+			out[j.bench] = m
 		}
-		m[oc.job.variant] = oc.res
+		m[j.variant] = e.res
+	}
+	if firstErr != nil {
+		// Failed and aborted keys were already unpinned by the workers, so
+		// a later attempt retries them instead of replaying the error.
+		return nil, firstErr
 	}
 	return out, nil
 }
 
-// simulate runs one benchmark under one configuration.
-func (o Options) simulate(j job) (*sim.Result, error) {
+// runOne simulates one job on the worker's simulator, constructing it on
+// first use and Reset-reusing it afterwards. The benchmark's trace comes
+// from the process-wide corpus cache: generated once, replayed per job.
+func (o Options) runOne(worker **sim.Simulator, j job) (*sim.Result, error) {
 	w, ok := workloads.ByName(j.bench)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", j.bench)
 	}
-	s, err := sim.New(j.cfg)
+	src := w.Corpus(o.spec())
+	if *worker == nil {
+		s, err := sim.New(j.cfg)
+		if err != nil {
+			return nil, err
+		}
+		*worker = s
+	} else if err := (*worker).Reset(j.cfg); err != nil {
+		return nil, err
+	}
+	return (*worker).Run(src.Streams())
+}
+
+// simulate runs one benchmark under one configuration through the job
+// scheduler (sharing the session cache and simulator pool).
+func (o Options) simulate(j job) (*sim.Result, error) {
+	raw, err := o.runJobs([]job{j})
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(w.Streams(o.spec()))
+	return raw[j.bench][j.variant], nil
 }
 
 // labelOf returns the paper's figure label for a benchmark name.

@@ -111,6 +111,14 @@ func (t *Table[V]) grow() {
 	}
 }
 
+// Clear removes every stored key, keeping the grown capacity so a reused
+// table re-fills without re-growing. Lookups and insertion behave exactly
+// as on a fresh table.
+func (t *Table[V]) Clear() {
+	clear(t.slots)
+	t.live = 0
+}
+
 // ForEach visits every stored (key, value) pair in unspecified order.
 func (t *Table[V]) ForEach(fn func(key uint64, v V)) {
 	for i := range t.slots {

@@ -67,6 +67,22 @@ func New(cfg Config) *Mesh {
 	}
 }
 
+// Reset frees every link and zeroes the traffic counters, returning the
+// mesh to its post-New state for the same geometry.
+func (m *Mesh) Reset() {
+	clear(m.linkFree)
+	m.RouterFlits, m.LinkFlits, m.Messages = 0, 0, 0
+}
+
+// Matches reports whether the mesh was built for exactly cfg (after New's
+// HopLatency defaulting), so callers can reuse it across runs.
+func (m *Mesh) Matches(cfg Config) bool {
+	if cfg.HopLatency <= 0 {
+		cfg.HopLatency = 2
+	}
+	return m.cfg == cfg
+}
+
 // Tiles returns the number of tiles.
 func (m *Mesh) Tiles() int { return m.cfg.Width * m.cfg.Height }
 

@@ -90,6 +90,20 @@ func New(tiles, meshW int) *Placement {
 	}
 }
 
+// Reset forgets every page classification and zeroes the counters,
+// returning the placement to its post-New state for the same geometry (the
+// page table keeps its grown capacity).
+func (p *Placement) Reset() {
+	p.pages.Clear()
+	p.recl = Reclassification{}
+	p.PrivatePages, p.SharedPages, p.Reclassifications = 0, 0, 0
+}
+
+// Matches reports whether the placement was built for this geometry.
+func (p *Placement) Matches(tiles, meshW int) bool {
+	return p.tiles == tiles && p.meshW == meshW
+}
+
 // mix64 is a splitmix64-style finalizer giving a well-spread deterministic
 // hash for address interleaving.
 func mix64(x uint64) uint64 {

@@ -22,7 +22,11 @@ type adaptiveProtocol struct {
 
 func init() {
 	RegisterProtocol(ProtocolAdaptive, func(s *Simulator) Protocol {
-		s.clsPool = core.NewClassifierPool(s.cfg.Cores, s.cfg.ClassifierK)
+		// Simulator.Reset keeps a shape-compatible pool (with its slabs and
+		// reclaimed classifiers) across runs; build one only when absent.
+		if s.clsPool == nil || !s.clsPool.Matches(s.cfg.Cores, s.cfg.ClassifierK) {
+			s.clsPool = core.NewClassifierPool(s.cfg.Cores, s.cfg.ClassifierK)
+		}
 		return &adaptiveProtocol{s}
 	})
 }

@@ -229,6 +229,159 @@ func TestDifferentialFastVsReference(t *testing.T) {
 	}
 }
 
+// compareStates asserts two simulators that ran the same program are
+// observably identical: every Result field, both version stores and the
+// full directory state.
+func compareStates(t *testing.T, label string, aSim *Simulator, aRes *Result, bSim *Simulator, bRes *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(aRes, bRes) {
+		t.Errorf("%s: results diverged:\n a: %+v\n b: %+v", label, aRes, bRes)
+	}
+	if got, want := verSnapshot(&aSim.golden), verSnapshot(&bSim.golden); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: golden store diverged: %d vs %d lines", label, len(got), len(want))
+	}
+	if got, want := verSnapshot(&aSim.dramVer), verSnapshot(&bSim.dramVer); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: DRAM version store diverged", label)
+	}
+	if got, want := dirSnapshot(aSim), dirSnapshot(bSim); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: directory state diverged: %d vs %d entries", label, len(got), len(want))
+	}
+}
+
+// TestResetReproducesFreshSimulator is the simulator-reuse equivalence
+// property: running a program on a dirtied, Reset simulator must reproduce
+// a fresh sim.New run bit for bit — for every protocol, including resets
+// that cross protocol kinds and directory/classifier geometries (which
+// force partial rebuilds) and repeated reuse of one instance. The
+// experiment layer's worker pool rides entirely on this guarantee.
+func TestResetReproducesFreshSimulator(t *testing.T) {
+	protocols := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"adaptive", func(c *Config) {}},
+		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
+		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
+		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+	}
+	for _, p := range protocols {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := diffConfig()
+			p.mut(&cfg)
+			prog := buildRandomProgram(rand.New(rand.NewSource(5)), cfg.Cores)
+			dirty := buildRandomProgram(rand.New(rand.NewSource(6)), cfg.Cores)
+
+			freshSim, freshRes := runProgram(t, cfg, false, prog)
+
+			// Dirty a simulator with a different program, then Reset and
+			// replay the reference program on it.
+			reused, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reused.Run(sliceStreams(dirty)); err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Reset(cfg); err != nil {
+				t.Fatal(err)
+			}
+			res, err := reused.Run(sliceStreams(prog))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareStates(t, "same-config reset", reused, res, freshSim, freshRes)
+
+			// Cross-config reset: detour through a different protocol kind,
+			// directory width and classifier shape (rebuilding those parts),
+			// then return to cfg. Still bit-identical.
+			detour := diffConfig()
+			detour.ProtocolKind = ProtocolMESI
+			detour.ClassifierK = 0
+			if p.name == "mesi" {
+				detour.ProtocolKind = ProtocolDragon
+			}
+			if err := reused.Reset(detour); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reused.Run(sliceStreams(dirty)); err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Reset(cfg); err != nil {
+				t.Fatal(err)
+			}
+			res2, err := reused.Run(sliceStreams(prog))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareStates(t, "cross-config reset", reused, res2, freshSim, freshRes)
+
+			// Third consecutive reuse of the same instance.
+			if err := reused.Reset(cfg); err != nil {
+				t.Fatal(err)
+			}
+			res3, err := reused.Run(sliceStreams(prog))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareStates(t, "repeated reset", reused, res3, freshSim, freshRes)
+		})
+	}
+}
+
+// TestResetAcrossGeometries checks Reset rebuilds when the machine itself
+// changes (core count, mesh, caches), matching fresh construction.
+func TestResetAcrossGeometries(t *testing.T) {
+	small := diffConfig()
+	big := diffConfig()
+	big.Cores, big.MeshWidth, big.MemControllers = 8, 4, 4
+	big.L1DSizeKB, big.L2SizeKB = 2, 8
+
+	progSmall := buildRandomProgram(rand.New(rand.NewSource(9)), small.Cores)
+	progBig := buildRandomProgram(rand.New(rand.NewSource(10)), big.Cores)
+
+	freshSim, freshRes := runProgram(t, big, false, progBig)
+
+	s, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(sliceStreams(progSmall)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(big); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(sliceStreams(progBig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareStates(t, "geometry reset", s, res, freshSim, freshRes)
+}
+
+// TestResetRejectsBadConfig pins the error path: a failed Reset reports
+// the validation error.
+func TestResetRejectsBadConfig(t *testing.T) {
+	s, err := New(diffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := diffConfig()
+	bad.MeshWidth = 3 // does not divide 4 cores
+	if err := s.Reset(bad); err == nil {
+		t.Fatal("Reset accepted an invalid config")
+	}
+}
+
+func sliceStreams(prog [][]mem.Access) []trace.Stream {
+	streams := make([]trace.Stream, len(prog))
+	for i := range prog {
+		streams[i] = trace.FromSlice(prog[i])
+	}
+	return streams
+}
+
 // TestDifferentialExercisesProtocolMachinery guards the differential test's
 // coverage: the randomized program on the shrunken machine must actually
 // drive the paths the flat core rewrote — evictions at both levels,

@@ -195,6 +195,14 @@ func (d *dirTable) grow() {
 	}
 }
 
+// clearAll empties the table, keeping its grown capacity. Sharer-identity
+// arena contents need no wiping: every insert rebinds the slot's segment as
+// a zero-length set.
+func (d *dirTable) clearAll() {
+	clear(d.slots)
+	d.live, d.dead = 0, 0
+}
+
 func (d *dirTable) forEach(fn func(la mem.Addr, e *dirEntry)) {
 	for i := range d.slots {
 		if d.slots[i].state == dirSlotLive {
@@ -260,6 +268,15 @@ func (d *tileDir) size() int {
 	return d.flat.live
 }
 
+// clear empties the directory for simulator reuse (Simulator.Reset).
+func (d *tileDir) clear() {
+	if d.ref != nil {
+		clear(d.ref)
+		return
+	}
+	d.flat.clearAll()
+}
+
 // The per-core miss-classification history and the golden/DRAM version
 // stores are flatmap.Tables keyed by mem.LineKey: absent lines read as the
 // zero value, matching the reference maps' semantics.
@@ -298,6 +315,15 @@ func (h *histStore) set(la mem.Addr, v uint8) {
 	*h.flat.Slot(mem.LineKey(la)) = v
 }
 
+// clear empties the history for core-state reuse across runs.
+func (h *histStore) clear() {
+	if h.ref != nil {
+		clear(h.ref)
+		return
+	}
+	h.flat.Clear()
+}
+
 // verStore is a version-store handle: flat table or reference map.
 type verStore struct {
 	flat *flatmap.Table[uint64]
@@ -325,6 +351,15 @@ func (v *verStore) set(la mem.Addr, val uint64) {
 		return
 	}
 	*v.flat.Slot(mem.LineKey(la)) = val
+}
+
+// clear empties the store for simulator reuse (Simulator.Reset).
+func (v *verStore) clear() {
+	if v.ref != nil {
+		clear(v.ref)
+		return
+	}
+	v.flat.Clear()
 }
 
 // bump increments la's version and returns the new value.

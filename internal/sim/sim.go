@@ -110,8 +110,10 @@ type lockState struct {
 }
 
 // Simulator executes per-core access streams against the modeled machine.
-// Construct with New; a Simulator runs one workload (use a fresh Simulator
-// per run).
+// Construct with New; a Simulator runs one workload per Run. To run
+// another workload, call Reset(cfg) first — it restores the
+// freshly-constructed state while reusing the allocated tables, so a
+// pooled Simulator amortizes its arenas across many runs.
 type Simulator struct {
 	cfg   Config
 	proto Protocol
@@ -178,48 +180,145 @@ func newReference(cfg Config) (*Simulator, error) {
 }
 
 func newSimulator(cfg Config, reference bool) (*Simulator, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &Simulator{reference: reference}
+	if err := s.Reset(cfg); err != nil {
 		return nil, err
 	}
-	s := &Simulator{
-		cfg:       cfg,
-		reference: reference,
-		mesh: network.New(network.Config{
-			Width:      cfg.MeshWidth,
-			Height:     cfg.Cores / cfg.MeshWidth,
-			HopLatency: cfg.HopLatency,
-		}),
-		nuca:    nuca.New(cfg.Cores, cfg.MeshWidth),
-		golden:  newVerStore(reference),
-		dramVer: newVerStore(reference),
-		locks:   make(map[uint64]*lockState),
+	return s, nil
+}
+
+// dirPointersFor returns the per-entry sharer pointer count the directory
+// tables are built with: ACKwise-p for the adaptive protocol, a full-map
+// vector for the baselines regardless of AckwisePointers.
+func dirPointersFor(cfg Config) int {
+	if cfg.protocolKind() != ProtocolAdaptive {
+		return cfg.Cores
 	}
-	s.dram = dram.New(dram.Config{
+	return cfg.AckwisePointers
+}
+
+// Reset re-initializes the simulator for cfg so the next Run behaves
+// exactly as on a freshly constructed Simulator — same results bit for bit
+// — while reusing the allocated storage wherever the old and new
+// configurations agree: the flat directory/history/version tables, cache
+// tag arrays, classifier slabs, mesh and DRAM queues are cleared in place
+// instead of reallocated. Components whose geometry changed are rebuilt.
+// The experiment layer's worker pool calls this between jobs; sweeps
+// differ only in protocol parameters, so steady-state job turnover
+// allocates almost nothing.
+func (s *Simulator) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	old := s.cfg
+	fresh := s.tiles == nil
+
+	meshCfg := network.Config{
+		Width:      cfg.MeshWidth,
+		Height:     cfg.Cores / cfg.MeshWidth,
+		HopLatency: cfg.HopLatency,
+	}
+	if s.mesh != nil && s.mesh.Matches(meshCfg) {
+		s.mesh.Reset()
+	} else {
+		s.mesh = network.New(meshCfg)
+	}
+
+	if s.nuca != nil && s.nuca.Matches(cfg.Cores, cfg.MeshWidth) {
+		s.nuca.Reset()
+	} else {
+		s.nuca = nuca.New(cfg.Cores, cfg.MeshWidth)
+	}
+
+	dramCfg := dram.Config{
 		Controllers:   cfg.MemControllers,
 		LatencyCycles: cfg.DRAMLatencyCycles,
 		BytesPerCycle: cfg.DRAMBytesPerCycle,
 		Tiles:         dram.DefaultTiles(cfg.MemControllers, cfg.MeshWidth, cfg.Cores/cfg.MeshWidth),
-	})
-	dirPointers := cfg.AckwisePointers
-	if s.cfg.protocolKind() != ProtocolAdaptive {
-		// The baselines use a full-map vector regardless of AckwisePointers.
-		dirPointers = cfg.Cores
 	}
-	s.tiles = make([]tile, cfg.Cores)
-	for i := range s.tiles {
-		s.tiles[i] = tile{
-			l1i: cache.New(cfg.L1ISizeKB*1024, cfg.L1IWays),
-			l1d: cache.New(cfg.L1DSizeKB*1024, cfg.L1DWays),
-			l2:  cache.New(cfg.L2SizeKB*1024, cfg.L2Ways),
-			dir: newTileDir(dirPointers, reference),
+	if s.dram != nil && s.dram.Matches(dramCfg) {
+		s.dram.Reset()
+	} else {
+		s.dram = dram.New(dramCfg)
+	}
+
+	if s.golden.flat == nil && s.golden.ref == nil {
+		s.golden = newVerStore(s.reference)
+		s.dramVer = newVerStore(s.reference)
+	} else {
+		s.golden.clear()
+		s.dramVer.clear()
+	}
+
+	// The classifier pool survives a reset when the adaptive protocol keeps
+	// the same (cores, k) shape; outstanding classifiers are reclaimed from
+	// the old directory entries below, so slabs are never re-carved.
+	keepPool := !s.reference && s.clsPool != nil &&
+		cfg.protocolKind() == ProtocolAdaptive &&
+		s.clsPool.Matches(cfg.Cores, cfg.ClassifierK)
+	if keepPool && !fresh {
+		for i := range s.tiles {
+			s.tiles[i].dir.forEach(func(_ mem.Addr, e *dirEntry) {
+				if e.cls != nil {
+					s.clsPool.Put(e.cls)
+					e.cls = nil
+				}
+			})
 		}
 	}
+	if !keepPool {
+		s.clsPool = nil // the adaptive factory rebuilds it on demand
+	}
+
+	sameTiles := !fresh && len(s.tiles) == cfg.Cores &&
+		old.L1ISizeKB == cfg.L1ISizeKB && old.L1IWays == cfg.L1IWays &&
+		old.L1DSizeKB == cfg.L1DSizeKB && old.L1DWays == cfg.L1DWays &&
+		old.L2SizeKB == cfg.L2SizeKB && old.L2Ways == cfg.L2Ways &&
+		dirPointersFor(old) == dirPointersFor(cfg)
+	if sameTiles {
+		for i := range s.tiles {
+			t := &s.tiles[i]
+			t.l1i.Reset()
+			t.l1d.Reset()
+			t.l2.Reset()
+			t.dir.clear()
+		}
+	} else {
+		dirPointers := dirPointersFor(cfg)
+		s.tiles = make([]tile, cfg.Cores)
+		for i := range s.tiles {
+			s.tiles[i] = tile{
+				l1i: cache.New(cfg.L1ISizeKB*1024, cfg.L1IWays),
+				l1d: cache.New(cfg.L1DSizeKB*1024, cfg.L1DWays),
+				l2:  cache.New(cfg.L2SizeKB*1024, cfg.L2Ways),
+				dir: newTileDir(dirPointers, s.reference),
+			}
+		}
+	}
+
+	if s.locks == nil {
+		s.locks = make(map[uint64]*lockState)
+	} else {
+		clear(s.locks)
+	}
+	s.barrierID, s.barrierN = 0, 0
+
+	s.meter = energy.Meter{}
+	s.invalHist = stats.UtilizationHistogram{}
+	s.evictHist = stats.UtilizationHistogram{}
+	s.promotions, s.demotions = 0, 0
+	s.wordReads, s.wordWrites = 0, 0
+	s.invalidations, s.bcastInvals = 0, 0
+	s.replicaHits, s.replicaInserts, s.replicaEvictions = 0, 0, 0
+
+	s.cfg = cfg
 	s.proto = newProtocol(s)
-	return s, nil
+	return nil
 }
 
 // Run executes one stream per core to completion and returns the aggregated
-// result. The streams are closed before returning.
+// result. The streams are closed before returning. Run may be called again
+// only after Reset.
 func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 	if len(streams) != s.cfg.Cores {
 		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), s.cfg.Cores)
@@ -229,18 +328,31 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 			st.Close()
 		}
 	}()
-	s.cores = make([]coreState, s.cfg.Cores)
+	if len(s.cores) != s.cfg.Cores {
+		s.cores = make([]coreState, s.cfg.Cores)
+		for i := range s.cores {
+			s.cores[i] = coreState{history: newHistStore(s.reference)}
+		}
+	}
 	for i := range s.cores {
+		// Reuse the core's history table (cleared) across Reset cycles; the
+		// per-core flat table is one of the larger per-run allocations.
+		h := s.cores[i].history
+		h.clear()
 		s.cores[i] = coreState{
 			id:      i,
 			stream:  streams[i],
-			history: newHistStore(s.reference),
+			history: h,
 		}
 		if cs, ok := streams[i].(trace.ChunkStream); ok {
 			s.cores[i].chunks = cs
 		}
 	}
-	s.runQ.q = make([]queuedCore, 0, s.cfg.Cores)
+	if cap(s.runQ.q) >= s.cfg.Cores {
+		s.runQ.q = s.runQ.q[:0]
+	} else {
+		s.runQ.q = make([]queuedCore, 0, s.cfg.Cores)
+	}
 	for i := range s.cores {
 		s.runQ.push(s.cores[i].now, int32(i))
 	}

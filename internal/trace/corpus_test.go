@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lacc/internal/mem"
+)
+
+// randomGens builds deterministic pseudo-random generators whose output
+// crosses many chunk and arena-block boundaries.
+func randomGens(cores, ops int, seed int64) []GenFunc {
+	gens := make([]GenFunc, cores)
+	for c := range gens {
+		c := c
+		gens[c] = func(e *Emitter) {
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for i := 0; i < ops; i++ {
+				a := mem.Addr(rng.Intn(1<<20) * 8)
+				switch rng.Intn(6) {
+				case 0:
+					e.Compute(rng.Intn(10))
+					e.Write(a)
+				case 1:
+					e.Lock(uint64(1 + rng.Intn(3)))
+					e.Read(a)
+					e.Unlock(uint64(1 + rng.Intn(3)))
+				default:
+					e.Read(a)
+				}
+			}
+		}
+	}
+	return gens
+}
+
+// drain collects a stream's full sequence via Next.
+func drain(s Stream) []mem.Access {
+	var out []mem.Access
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	s.Close()
+	return out
+}
+
+// drainChunks collects a ChunkStream's full sequence via NextChunk.
+func drainChunks(s Stream) []mem.Access {
+	cs := s.(ChunkStream)
+	var out []mem.Access
+	for {
+		c, ok := cs.NextChunk()
+		if !ok {
+			break
+		}
+		out = append(out, c...)
+	}
+	s.Close()
+	return out
+}
+
+func equalSeqs(t *testing.T, name string, got, want []mem.Access) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d accesses, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: access %d = %+v, want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCorpusMatchesLiveStreams is the mode-equivalence property at the
+// trace layer: for the same generators, the materialized corpus and the
+// live goroutine/channel pipeline must deliver identical sequences,
+// through both the Next and NextChunk interfaces, across replays.
+func TestCorpusMatchesLiveStreams(t *testing.T) {
+	const cores, ops = 4, 9000 // >chunkSize ops per core, crosses blocks
+	gens := randomGens(cores, ops, 42)
+	corpus := BuildCorpus(gens)
+	if corpus.Cores() != cores {
+		t.Fatalf("Cores() = %d, want %d", corpus.Cores(), cores)
+	}
+	for c := 0; c < cores; c++ {
+		live := drain(New(gens[c]))
+		equalSeqs(t, "corpus vs live", drain(corpus.Stream(c)), live)
+		equalSeqs(t, "corpus chunks vs live", drainChunks(corpus.Stream(c)), live)
+		// Replay again: views must be independent cursors.
+		equalSeqs(t, "second replay", drain(corpus.Stream(c)), live)
+		if corpus.Accesses(c) != uint64(len(live)) {
+			t.Fatalf("Accesses(%d) = %d, want %d", c, corpus.Accesses(c), len(live))
+		}
+	}
+	var total uint64
+	for c := 0; c < cores; c++ {
+		total += corpus.Accesses(c)
+	}
+	if corpus.Total() != total {
+		t.Fatalf("Total() = %d, want %d", corpus.Total(), total)
+	}
+}
+
+// TestCorpusSegmentsCoalesce pins the arena layout property: a core's
+// sequence occupies at most one segment per arena block (consecutive
+// flushes coalesce), so replay touches long contiguous runs.
+func TestCorpusSegmentsCoalesce(t *testing.T) {
+	const ops = 3 * corpusBlockSize / 2
+	gens := []GenFunc{func(e *Emitter) {
+		for i := 0; i < ops; i++ {
+			e.Read(mem.Addr(i * 8))
+		}
+	}}
+	c := BuildCorpus(gens)
+	maxSegs := int(c.Total()/corpusBlockSize) + 1
+	if got := len(c.seqs[0]); got > maxSegs {
+		t.Fatalf("core 0 fragmented into %d segments, want <= %d", got, maxSegs)
+	}
+}
+
+func TestCorpusEmptyStream(t *testing.T) {
+	c := BuildCorpus([]GenFunc{func(e *Emitter) {}})
+	if a, ok := c.Stream(0).Next(); ok {
+		t.Fatalf("empty corpus yielded %+v", a)
+	}
+	if _, ok := c.Stream(0).(ChunkStream).NextChunk(); ok {
+		t.Fatal("empty corpus yielded a chunk")
+	}
+}
+
+// TestSpilledCorpusRoundTrip checks the spill-to-disk path delivers
+// bit-identical sequences via independent per-core decoders over the
+// shared descriptor, agrees with the standard trace format, and releases
+// the descriptor once removed and fully replayed.
+func TestSpilledCorpusRoundTrip(t *testing.T) {
+	const cores, ops = 3, 6000
+	gens := randomGens(cores, ops, 7)
+	corpus := BuildCorpus(gens)
+	path := filepath.Join(t.TempDir(), "spill.lacctrc")
+	sc, err := BuildSpilledCorpus(gens, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cores() != cores || sc.Total() != corpus.Total() {
+		t.Fatalf("spilled shape %d/%d, want %d/%d", sc.Cores(), sc.Total(), cores, corpus.Total())
+	}
+	// Consume out of core order and interleaved, as the simulator does.
+	streams := sc.Streams()
+	for c := cores - 1; c >= 0; c-- {
+		equalSeqs(t, "spilled vs corpus", drainChunks(streams[c]), drain(corpus.Stream(c)))
+		if sc.Accesses(c) != corpus.Accesses(c) {
+			t.Fatalf("spilled Accesses(%d) = %d, want %d", c, sc.Accesses(c), corpus.Accesses(c))
+		}
+	}
+	// The spill file is the standard trace format: ReadFile must agree,
+	// and CorpusFromSlices must rebuild an identical in-memory corpus.
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(fh)
+	fh.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := CorpusFromSlices(f)
+	for c := 0; c < cores; c++ {
+		equalSeqs(t, "ReadFile vs corpus", f[c], drain(corpus.Stream(c)))
+		equalSeqs(t, "CorpusFromSlices vs corpus", drain(rebuilt.Stream(c)), drain(corpus.Stream(c)))
+	}
+
+	// Removal with a stream in flight: the reader keeps working (POSIX
+	// unlink semantics on the shared descriptor), and the descriptor is
+	// released when the last stream closes.
+	inFlight := sc.Stream(0)
+	if err := sc.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	equalSeqs(t, "replay after Remove", drain(inFlight), drain(corpus.Stream(0)))
+	sc.mu.Lock()
+	leaked := sc.f != nil || sc.refs != 0
+	sc.mu.Unlock()
+	if leaked {
+		t.Fatal("shared descriptor not released after Remove + Close")
+	}
+}

@@ -34,38 +34,64 @@ var ErrBadTrace = errors.New("trace: malformed trace file")
 // WriteFile encodes the per-core access slices to w.
 func WriteFile(w io.Writer, streams [][]mem.Access) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(Magic); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putUvarint(uint64(len(streams))); err != nil {
+	enc := streamEncoder{bw: bw}
+	if err := enc.header(len(streams)); err != nil {
 		return err
 	}
 	for _, accs := range streams {
-		if err := putUvarint(uint64(len(accs))); err != nil {
+		if err := enc.beginStream(uint64(len(accs))); err != nil {
 			return err
 		}
-		var prev uint64
 		for _, a := range accs {
-			if err := bw.WriteByte(byte(a.Kind)); err != nil {
+			if err := enc.record(a); err != nil {
 				return err
 			}
-			if err := putUvarint(uint64(a.Gap)); err != nil {
-				return err
-			}
-			delta := int64(uint64(a.Addr) - prev)
-			if err := putUvarint(zigzag(delta)); err != nil {
-				return err
-			}
-			prev = uint64(a.Addr)
 		}
 	}
 	return bw.Flush()
+}
+
+// streamEncoder writes the binary trace format (shared by WriteFile and
+// Corpus.Spill).
+type streamEncoder struct {
+	bw   *bufio.Writer
+	buf  [binary.MaxVarintLen64]byte
+	prev uint64
+}
+
+func (e *streamEncoder) uvarint(v uint64) error {
+	n := binary.PutUvarint(e.buf[:], v)
+	_, err := e.bw.Write(e.buf[:n])
+	return err
+}
+
+func (e *streamEncoder) header(cores int) error {
+	if _, err := e.bw.WriteString(Magic); err != nil {
+		return err
+	}
+	return e.uvarint(uint64(cores))
+}
+
+// beginStream starts a new per-core stream of count records, resetting the
+// delta-encoding base.
+func (e *streamEncoder) beginStream(count uint64) error {
+	e.prev = 0
+	return e.uvarint(count)
+}
+
+func (e *streamEncoder) record(a mem.Access) error {
+	if err := e.bw.WriteByte(byte(a.Kind)); err != nil {
+		return err
+	}
+	if err := e.uvarint(uint64(a.Gap)); err != nil {
+		return err
+	}
+	delta := int64(uint64(a.Addr) - e.prev)
+	if err := e.uvarint(zigzag(delta)); err != nil {
+		return err
+	}
+	e.prev = uint64(a.Addr)
+	return nil
 }
 
 // ReadFile decodes a trace file into per-core access slices.
@@ -88,41 +114,75 @@ func ReadFile(r io.Reader) ([][]mem.Access, error) {
 	}
 	out := make([][]mem.Access, cores)
 	for c := range out {
-		count, err := binary.ReadUvarint(br)
+		dec, err := newStreamDecoder(br, c)
 		if err != nil {
-			return nil, fmt.Errorf("%w: stream %d length: %v", ErrBadTrace, c, err)
+			return nil, err
 		}
-		accs := make([]mem.Access, 0, min64(count, 1<<20))
-		var prev uint64
-		for i := uint64(0); i < count; i++ {
-			kind, err := br.ReadByte()
+		accs := make([]mem.Access, 0, min64(dec.remaining, 1<<20))
+		for {
+			a, ok, err := dec.next()
 			if err != nil {
-				return nil, fmt.Errorf("%w: stream %d record %d: %v", ErrBadTrace, c, i, err)
+				return nil, err
 			}
-			if mem.AccessKind(kind) > mem.Unlock {
-				return nil, fmt.Errorf("%w: stream %d record %d: kind %d", ErrBadTrace, c, i, kind)
+			if !ok {
+				break
 			}
-			gap, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: stream %d record %d gap: %v", ErrBadTrace, c, i, err)
-			}
-			if gap > 1<<32-1 {
-				return nil, fmt.Errorf("%w: stream %d record %d: gap %d overflows", ErrBadTrace, c, i, gap)
-			}
-			zz, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: stream %d record %d addr: %v", ErrBadTrace, c, i, err)
-			}
-			prev += uint64(unzigzag(zz))
-			accs = append(accs, mem.Access{
-				Kind: mem.AccessKind(kind),
-				Gap:  uint32(gap),
-				Addr: mem.Addr(prev),
-			})
+			accs = append(accs, a)
 		}
 		out[c] = accs
 	}
 	return out, nil
+}
+
+// streamDecoder decodes one core's record sequence from a trace file,
+// record by record, so callers can replay a stream without materializing
+// it (the spilled-corpus replay path) or slurp it whole (ReadFile).
+type streamDecoder struct {
+	br        *bufio.Reader
+	remaining uint64
+	read      uint64
+	prev      uint64
+	stream    int // for error messages
+}
+
+// newStreamDecoder reads the stream's record count and positions the
+// decoder at its first record.
+func newStreamDecoder(br *bufio.Reader, stream int) (*streamDecoder, error) {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: stream %d length: %v", ErrBadTrace, stream, err)
+	}
+	return &streamDecoder{br: br, remaining: count, stream: stream}, nil
+}
+
+// next decodes one record; ok is false once the stream is exhausted.
+func (d *streamDecoder) next() (a mem.Access, ok bool, err error) {
+	if d.remaining == 0 {
+		return mem.Access{}, false, nil
+	}
+	i := d.read
+	kind, err := d.br.ReadByte()
+	if err != nil {
+		return mem.Access{}, false, fmt.Errorf("%w: stream %d record %d: %v", ErrBadTrace, d.stream, i, err)
+	}
+	if mem.AccessKind(kind) > mem.Unlock {
+		return mem.Access{}, false, fmt.Errorf("%w: stream %d record %d: kind %d", ErrBadTrace, d.stream, i, kind)
+	}
+	gap, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return mem.Access{}, false, fmt.Errorf("%w: stream %d record %d gap: %v", ErrBadTrace, d.stream, i, err)
+	}
+	if gap > 1<<32-1 {
+		return mem.Access{}, false, fmt.Errorf("%w: stream %d record %d: gap %d overflows", ErrBadTrace, d.stream, i, gap)
+	}
+	zz, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return mem.Access{}, false, fmt.Errorf("%w: stream %d record %d addr: %v", ErrBadTrace, d.stream, i, err)
+	}
+	d.prev += uint64(unzigzag(zz))
+	d.remaining--
+	d.read++
+	return mem.Access{Kind: mem.AccessKind(kind), Gap: uint32(gap), Addr: mem.Addr(d.prev)}, true, nil
 }
 
 // Record drains the given streams into memory (closing them) and returns

@@ -1,15 +1,40 @@
-// Package trace provides lazily generated, deterministic per-core memory
-// access streams. Workload kernels are written as ordinary imperative code
-// against an Emitter; each core's kernel runs in its own goroutine and
-// delivers accesses in fixed-size chunks over a channel, so traces are never
-// fully materialized. Delivery order per stream is exactly emission order,
-// making simulations deterministic regardless of goroutine scheduling.
+// Package trace provides deterministic per-core memory access streams.
+// Workload kernels are written as ordinary imperative code against an
+// Emitter. Two delivery modes exist:
+//
+//   - live (New): each core's kernel runs in its own goroutine and delivers
+//     accesses in fixed-size chunks over a channel, so traces are never
+//     fully materialized;
+//   - materialized (BuildCorpus): every kernel runs once, synchronously,
+//     into chunked arena storage, and replay hands out cheap ChunkStream
+//     views — the experiment layer's choice, since sweeps re-simulate the
+//     same trace many times.
+//
+// Delivery order per stream is exactly emission order in both modes, so
+// simulations are deterministic regardless of goroutine scheduling and
+// bit-identical across modes.
 package trace
 
-import "lacc/internal/mem"
+import (
+	"sync"
+
+	"lacc/internal/mem"
+)
 
 // chunkSize balances channel traffic against buffering memory.
 const chunkSize = 4096
+
+// chunkPool recycles Emitter chunk buffers for sinks that retain buffer
+// ownership (the corpus build path copies each chunk into arena storage and
+// hands the buffer straight back, so one pooled buffer serves a whole
+// corpus build — and concurrent builds don't contend on a shared buffer).
+// The channel path cannot pool: flushed buffers are owned by the consumer.
+var chunkPool = sync.Pool{
+	New: func() any {
+		buf := make([]mem.Access, 0, chunkSize)
+		return &buf
+	},
+}
 
 // Stream yields one core's access sequence.
 type Stream interface {
@@ -39,12 +64,18 @@ type GenFunc func(e *Emitter)
 // stop arbitrary kernel code blocked on a full channel.
 type aborted struct{}
 
+// emitterSink consumes full chunks from an Emitter. flush takes ownership
+// of chunk and returns the buffer to fill next (which may be chunk itself,
+// reset, when the sink copies the data out).
+type emitterSink interface {
+	flush(chunk []mem.Access) (next []mem.Access)
+}
+
 // Emitter collects accesses from a workload kernel. Compute gaps accumulate
 // and attach to the next emitted operation.
 type Emitter struct {
 	chunk []mem.Access
-	out   chan []mem.Access
-	quit  chan struct{}
+	sink  emitterSink
 	gap   uint32
 }
 
@@ -94,10 +125,21 @@ func (e *Emitter) flush() {
 	if len(e.chunk) == 0 {
 		return
 	}
+	e.chunk = e.sink.flush(e.chunk)
+}
+
+// chanSink delivers chunks over the generator goroutine's channel. The
+// consumer owns flushed buffers, so every flush starts a fresh one.
+type chanSink struct {
+	out  chan []mem.Access
+	quit chan struct{}
+}
+
+func (s *chanSink) flush(chunk []mem.Access) []mem.Access {
 	select {
-	case e.out <- e.chunk:
-		e.chunk = make([]mem.Access, 0, chunkSize)
-	case <-e.quit:
+	case s.out <- chunk:
+		return make([]mem.Access, 0, chunkSize)
+	case <-s.quit:
 		panic(aborted{})
 	}
 }
@@ -120,8 +162,7 @@ func New(gen GenFunc) Stream {
 	}
 	e := &Emitter{
 		chunk: make([]mem.Access, 0, chunkSize),
-		out:   s.ch,
-		quit:  s.quit,
+		sink:  &chanSink{out: s.ch, quit: s.quit},
 	}
 	go func() {
 		defer close(s.ch)

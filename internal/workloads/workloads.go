@@ -21,7 +21,11 @@ package workloads
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lacc/internal/trace"
 )
@@ -89,6 +93,154 @@ func (w Workload) Streams(s Spec) []trace.Stream {
 		streams[i] = trace.New(g)
 	}
 	return streams
+}
+
+// corpusKey identifies one materialized trace: a workload's output is a
+// pure function of (name, cores, scale, seed).
+type corpusKey struct {
+	name  string
+	cores int
+	scale float64
+	seed  uint64
+}
+
+// corpusEntry is one cache slot. The once gate makes concurrent requesters
+// of the same key share a single build; src is valid once once completes.
+// done is closed when src is final, so FlushCorpora can distinguish
+// completed builds (whose spill files it owns) from in-flight ones (whose
+// handles the builder's caller is about to use) without blocking them.
+type corpusEntry struct {
+	once sync.Once
+	done chan struct{}
+	src  trace.Source
+}
+
+// corpusCache memoizes materialized traces per process, so a sweep
+// generates each (workload, spec) trace exactly once no matter how many
+// configuration variants replay it.
+var corpusCache = struct {
+	sync.Mutex
+	m map[corpusKey]*corpusEntry
+}{m: map[corpusKey]*corpusEntry{}}
+
+// corpusBuilds counts generator executions through the corpus path — the
+// experiment layer's exactly-once guarantee is asserted against it.
+var corpusBuilds atomic.Uint64
+
+// CorpusBuilds returns the number of corpus builds this process performed.
+func CorpusBuilds() uint64 { return corpusBuilds.Load() }
+
+// spillPolicy is the optional spill-to-disk configuration (see
+// SetCorpusSpill).
+var spillPolicy struct {
+	sync.Mutex
+	dir string
+	min uint64
+}
+
+// spillSeq makes every spill filename unique within the process.
+var spillSeq atomic.Uint64
+
+// SetCorpusSpill enables spilling built corpora whose total access count
+// reaches minAccesses to files under dir (in the binary trace format):
+// large-Scale sweeps then replay from disk with one chunk buffer per core
+// instead of the whole trace resident. With spilling active, builds
+// stream straight to disk — peak build memory is one core's sequence, not
+// the whole trace — and only corpora that turn out smaller than the
+// threshold are re-materialized in memory. An empty dir disables spilling
+// (the default). Affects corpora built after the call. The directory is
+// created if absent; a directory that cannot be created or written falls
+// back to in-memory builds, so enable spilling only with a usable dir (the
+// returned error reports creation failures).
+func SetCorpusSpill(dir string, minAccesses uint64) error {
+	var err error
+	if dir != "" {
+		err = os.MkdirAll(dir, 0o755)
+	}
+	spillPolicy.Lock()
+	spillPolicy.dir, spillPolicy.min = dir, minAccesses
+	spillPolicy.Unlock()
+	return err
+}
+
+// Corpus returns the materialized trace for this workload at s, building
+// it at most once per process per (name, cores, scale, seed). The result
+// is safe for concurrent replay.
+func (w Workload) Corpus(s Spec) trace.Source {
+	s = s.normalize()
+	key := corpusKey{name: w.Name, cores: s.Cores, scale: s.Scale, seed: s.Seed}
+	corpusCache.Lock()
+	e := corpusCache.m[key]
+	if e == nil {
+		e = &corpusEntry{done: make(chan struct{})}
+		corpusCache.m[key] = e
+	}
+	corpusCache.Unlock()
+	e.once.Do(func() {
+		defer close(e.done)
+		corpusBuilds.Add(1)
+		spillPolicy.Lock()
+		dir, min := spillPolicy.dir, spillPolicy.min
+		spillPolicy.Unlock()
+		if dir == "" {
+			e.src = trace.BuildCorpus(w.Build(s))
+			return
+		}
+		// Spilling enabled: stream the build to disk so the whole trace is
+		// never resident — this is the only way a trace larger than memory
+		// can be built at all. The filename carries the pid (concurrent
+		// processes sharing a spill dir never truncate each other's files)
+		// and a build sequence number (a rebuild after FlushCorpora never
+		// truncates a flushed-but-still-replaying predecessor).
+		name := fmt.Sprintf("%s-c%d-s%g-r%d-p%d-n%d.lacctrc",
+			w.Name, s.Cores, s.Scale, s.Seed, os.Getpid(), spillSeq.Add(1))
+		sc, err := trace.BuildSpilledCorpus(w.Build(s), filepath.Join(dir, name))
+		if err != nil {
+			// Spill failure (unwritable dir, full disk): correctness first,
+			// fall back to the in-memory build.
+			e.src = trace.BuildCorpus(w.Build(s))
+			return
+		}
+		if sc.Total() < min {
+			// Below the threshold: read the just-written file back into an
+			// arena (cheaper than re-running the generators) for RAM-speed
+			// replay, then drop the file.
+			e.src = sc
+			if f, err := os.Open(sc.Path()); err == nil {
+				seqs, rerr := trace.ReadFile(f)
+				f.Close()
+				if rerr == nil {
+					e.src = trace.CorpusFromSlices(seqs)
+					sc.Remove()
+				}
+			}
+			return
+		}
+		e.src = sc
+	})
+	return e.src
+}
+
+// FlushCorpora drops every cached corpus, deleting the spill files of
+// completed builds, so long-lived processes can bound trace memory
+// between experiment batches. A build in flight keeps its file — its
+// caller is about to replay it — and merely becomes untracked: the file
+// lives until the process exits rather than being yanked mid-use.
+func FlushCorpora() {
+	corpusCache.Lock()
+	old := corpusCache.m
+	corpusCache.m = map[corpusKey]*corpusEntry{}
+	corpusCache.Unlock()
+	for _, e := range old {
+		select {
+		case <-e.done:
+			if sc, ok := e.src.(*trace.SpilledCorpus); ok {
+				sc.Remove()
+			}
+		default:
+			// In flight (or never requested): leave it to its builder.
+		}
+	}
 }
 
 // registry holds all workloads keyed by Name.
