@@ -155,6 +155,20 @@ func BenchmarkMultiExperimentSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeMesh256 measures the tracked large-mesh scenario:
+// streamcluster at 256 cores (16x16 mesh, 4x the paper's core count)
+// under the adaptive protocol and the full-map MESI baseline. The body is
+// shared with the benchcore regression harness through
+// experiments.CoreBenchLargeMesh256.
+func BenchmarkLargeMesh256(b *testing.B) {
+	b.ReportAllocs() // body shared with the benchcore regression harness
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CoreBenchLargeMesh256(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (accesses per
 // second) on one representative run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

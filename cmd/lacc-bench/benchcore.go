@@ -22,9 +22,13 @@ import (
 //	lacc-bench -check-bench BENCH_core.json benchcore # CI regression gate
 //
 // The check mode fails (exit 1) when allocs/op regresses more than 20%
-// against the committed baseline. Only allocs/op gates CI: it is
-// deterministic for a given code path, while ns/op varies with the host and
-// is recorded for human inspection only.
+// against the committed baseline, or when ns/op regresses beyond its
+// tolerance band. The two gates have very different widths: allocs/op is
+// deterministic for a given code path and tolerates only jitter, while
+// ns/op varies with the host — CI runners differ from the machines
+// baselines were recorded on — so its band is wide (2.5x) and only
+// catches order-of-magnitude blowups such as an accidentally quadratic
+// loop or a lost fast path, not percent-level drift.
 
 // CoreBenchResult is one core benchmark's measurement, as committed in
 // BENCH_core.json.
@@ -37,9 +41,12 @@ type CoreBenchResult struct {
 
 // allocRegressionLimit is the relative allocs/op growth tolerated before
 // the check fails; allocSlack absorbs fixed jitter on tiny counts.
+// nsRegressionLimit is the ns/op tolerance band: wide, because wall time
+// is host-dependent (see the package comment).
 const (
 	allocRegressionLimit = 1.20
 	allocSlack           = 8
+	nsRegressionLimit    = 2.5
 )
 
 // coreBenchmarks are the tracked benchmark bodies, shared with
@@ -67,6 +74,13 @@ var coreBenchmarks = []struct {
 	{"MultiSweep", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := experiments.CoreBenchMultiSweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"LargeMesh256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.CoreBenchLargeMesh256(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -142,8 +156,15 @@ func checkAgainstBaseline(results []CoreBenchResult, path string) error {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Fprintf(os.Stderr, "%-20s allocs/op %10.0f -> %10.0f (limit %.0f) %s\n",
-			r.Name, b.AllocsPerOp, r.AllocsPerOp, limit, status)
+		nsLimit := b.NsPerOp * nsRegressionLimit
+		nsStatus := "ok"
+		if r.NsPerOp > nsLimit {
+			nsStatus = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-20s allocs/op %10.0f -> %10.0f (limit %.0f) %s | ns/op %12.0f -> %12.0f (limit %.0f) %s\n",
+			r.Name, b.AllocsPerOp, r.AllocsPerOp, limit, status,
+			b.NsPerOp, r.NsPerOp, nsLimit, nsStatus)
 	}
 	// The gate must stay bidirectional: a benchmark present in the
 	// baseline but no longer measured means the gate silently narrowed.
@@ -154,8 +175,8 @@ func checkAgainstBaseline(results []CoreBenchResult, path string) error {
 		}
 	}
 	if failed {
-		return fmt.Errorf("benchcore: allocs/op regressed beyond %.0f%% of %s (refresh with `lacc-bench -json benchcore > %s` if intentional)",
-			(allocRegressionLimit-1)*100, path, path)
+		return fmt.Errorf("benchcore: allocs/op (>%.0f%%) or ns/op (>%.1fx) regressed against %s (refresh with `lacc-bench -json benchcore > %s` if intentional)",
+			(allocRegressionLimit-1)*100, nsRegressionLimit, path, path)
 	}
 	return nil
 }

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,8 +48,49 @@ func main() {
 		checkFile = flag.String("check-bench", "", "benchcore: compare allocs/op against this baseline JSON, exit nonzero on >20% regression")
 		spillDir  = flag.String("corpus-spill", "", "spill materialized traces above -corpus-spill-min accesses to this directory (for large -scale runs)")
 		spillMin  = flag.Uint64("corpus-spill-min", 8<<20, "minimum corpus size in accesses before spilling to -corpus-spill")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profiling hooks, so hot-loop work on the simulator is measurable on
+	// the real experiment workloads without hand-editing the harness:
+	//
+	//	lacc-bench -cpuprofile cpu.out -quick fig8
+	//	go tool pprof -top cpu.out
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		prev := flushProfiles
+		flushProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			prev()
+		}
+	}
+	if *memProf != "" {
+		path := *memProf
+		prev := flushProfiles
+		flushProfiles = func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lacc-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lacc-bench: -memprofile:", err)
+			}
+			prev()
+		}
+	}
+	defer flushProfilesOnce()
 
 	if *spillDir != "" {
 		if err := workloads.SetCorpusSpill(*spillDir, *spillMin); err != nil {
@@ -213,7 +256,14 @@ func (r *runner) run(name string) error {
 		return err
 	}
 	if r.timing {
-		fmt.Printf("[%s in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		// With -json the documented redirection (`lacc-bench -json
+		// benchcore > BENCH_core.json`) must stay valid JSON, so the
+		// timing line moves to stderr.
+		out := os.Stdout
+		if r.jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintf(out, "[%s in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }
@@ -228,7 +278,23 @@ func (r *runner) get8() (*experiments.PCTSweep, error) {
 	return r.sweep8, nil
 }
 
+// flushProfiles finalizes any -cpuprofile/-memprofile outputs; fatal and
+// main's defer both route through flushProfilesOnce so profiles survive
+// error exits (os.Exit skips defers).
+var (
+	flushProfiles = func() {}
+	profilesDone  bool
+)
+
+func flushProfilesOnce() {
+	if !profilesDone {
+		profilesDone = true
+		flushProfiles()
+	}
+}
+
 func fatal(err error) {
+	flushProfilesOnce()
 	fmt.Fprintln(os.Stderr, "lacc-bench:", err)
 	os.Exit(1)
 }

@@ -94,3 +94,43 @@ func TestGoldenRegression(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenLargeMesh256 pins the tracked large-mesh scenario — the
+// LargeMesh256 benchmark's machine: streamcluster at 256 cores on a 16x16
+// mesh, four times the paper's core count — under the adaptive protocol
+// and the full-map MESI baseline. Broadcast trees, run-queue depth and
+// sharer vectors all scale with the mesh, so drift here can appear even
+// when the 16-core rows above hold.
+func TestGoldenLargeMesh256(t *testing.T) {
+	golden := []struct {
+		protocol   lacc.ProtocolKind
+		completion lacc.Cycle
+		accesses   uint64
+		activity   uint64
+		linkFlits  uint64
+	}{
+		{lacc.ProtocolAdaptive, 727493, 199712, 59917, 4746419},
+		{lacc.ProtocolMESI, 1528735, 199712, 0, 12337408},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(string(g.protocol), func(t *testing.T) {
+			t.Parallel()
+			cfg := lacc.DefaultConfig()
+			cfg.Cores = 256
+			cfg.MeshWidth = 16
+			cfg.ProtocolKind = g.protocol
+			res, err := lacc.RunWorkload(cfg, "streamcluster", 0.1, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CompletionCycles != g.completion || res.DataAccesses != g.accesses ||
+				res.WordReads+res.WordWrites+res.UpdateWrites != g.activity ||
+				res.LinkFlits != g.linkFlits {
+				t.Errorf("large-mesh golden row drifted for %s:\n got: completion=%d accesses=%d activity=%d linkFlits=%d\nwant: %+v",
+					g.protocol, res.CompletionCycles, res.DataAccesses,
+					res.WordReads+res.WordWrites+res.UpdateWrites, res.LinkFlits, g)
+			}
+		})
+	}
+}

@@ -44,9 +44,17 @@ type Line struct {
 	State uint8
 }
 
-// tagInvalid marks a free way in the packed tag array. No real line address
-// collides with it: addresses are 48-bit.
-const tagInvalid = ^mem.Addr(0)
+// tagOf returns the packed-tag encoding of a line address: the address
+// plus one. Line addresses are 48-bit and line-aligned, so the encoding
+// never overflows, never collides with another line, and never produces
+// zero — which makes the zero value of a tag word mean "free way". Fresh
+// and Reset tag arrays are therefore plain zeroed memory, and occupancy is
+// decided entirely by the tag array: the Line records behind free ways may
+// hold stale bytes from a previous run and are never read.
+func tagOf(la mem.Addr) mem.Addr { return la + 1 }
+
+// tagFree marks a free way in the packed tag array (see tagOf).
+const tagFree = mem.Addr(0)
 
 // Cache is a set-associative cache with LRU replacement. The zero value is
 // not usable; construct with New.
@@ -54,10 +62,13 @@ type Cache struct {
 	sets  int
 	ways  int
 	lines []Line // sets*ways, row-major by set
-	// tags packs each way's line address (tagInvalid for free ways) into a
-	// contiguous array so the probe loop scans one cache line of tags
-	// instead of striding across full Line records. It mirrors
-	// lines[i].Valid/Addr and is maintained by Insert/TryInsert/Invalidate.
+	// tags packs each way's occupancy (tagOf(line) for held lines, tagFree
+	// for free ways) into a contiguous array so the probe loop scans one
+	// hardware cache line of tags instead of striding across full Line
+	// records. The tag array is authoritative: every structural query
+	// (probe, insert victim choice, timestamp checks, iteration) consults
+	// it, so Reset only has to clear tags — the far larger Line array is
+	// left dirty and re-initialized way by way as lines are inserted.
 	tags []mem.Addr
 	tick uint64
 
@@ -80,21 +91,18 @@ func New(sizeBytes, ways int) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	c := &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways), tags: make([]mem.Addr, sets*ways)}
-	for i := range c.tags {
-		c.tags[i] = tagInvalid
-	}
-	return c
+	// Zeroed tags mean every way is free; the Line records need no
+	// initialization at all (see the tags field comment).
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways), tags: make([]mem.Addr, sets*ways)}
 }
 
 // Reset invalidates every line and zeroes the replacement clock and
-// eviction counter, returning the cache to its post-New state without
-// reallocating the tag arrays. Geometry is unchanged.
+// eviction counter, returning the cache to a state behaviorally identical
+// to post-New without reallocating. Only the tag array is cleared: the
+// stale Line records behind freed ways are unreachable (all queries gate
+// on tags) and are overwritten on their next insertion.
 func (c *Cache) Reset() {
-	clear(c.lines)
-	for i := range c.tags {
-		c.tags[i] = tagInvalid
-	}
+	clear(c.tags)
 	c.tick = 0
 	c.Evictions = 0
 }
@@ -114,15 +122,29 @@ func (c *Cache) SetOf(a mem.Addr) int {
 // update replacement state; callers that consume the access should also call
 // Touch.
 func (c *Cache) Probe(a mem.Addr) *Line {
-	la := mem.LineOf(a)
+	key := tagOf(mem.LineOf(a))
 	base := c.SetOf(a) * c.ways
 	tags := c.tags[base : base+c.ways]
 	for i, tag := range tags {
-		if tag == la {
+		if tag == key {
 			return &c.lines[base+i]
 		}
 	}
 	return nil
+}
+
+// Holds reports whether l — a line returned by this cache's Probe or
+// Insert since the last Reset, or nil — still holds a's cache line,
+// letting callers keep an MRU hint and skip the tag scan on repeated
+// same-line accesses. Line pointers stay valid for the cache's lifetime
+// (the backing array never relocates), so a stale hint is safe to
+// validate: an invalidated way fails the Valid check and a reallocated way
+// fails the address check. A line can occupy only one way (Insert panics
+// on resident lines), so a validated hint is exactly the line Probe would
+// return. Hints must not be carried across Reset, which frees ways without
+// rewriting their Line records.
+func (c *Cache) Holds(l *Line, a mem.Addr) bool {
+	return l != nil && l.Valid && l.Addr == mem.LineOf(a)
 }
 
 // Touch marks l most-recently-used and stamps its last-access time.
@@ -139,21 +161,21 @@ func (c *Cache) Touch(l *Line, now mem.Cycle) {
 // panics: the protocol layer must Probe first.
 func (c *Cache) Insert(a mem.Addr) (l *Line, victim Line, evicted bool) {
 	la := mem.LineOf(a)
-	set := c.SetOf(a)
-	base := set * c.ways
+	key := tagOf(la)
+	base := c.SetOf(a) * c.ways
 	var victimIdx = -1
 	var victimLRU uint64 = ^uint64(0)
 	for i := 0; i < c.ways; i++ {
-		if c.tags[base+i] == tagInvalid {
+		tag := c.tags[base+i]
+		if tag == tagFree {
 			victimIdx = i
 			evicted = false
 			goto place
 		}
-		w := &c.lines[base+i]
-		if w.Addr == la {
+		if tag == key {
 			panic(fmt.Sprintf("cache: Insert of resident line %#x", la))
 		}
-		if w.lru < victimLRU {
+		if w := &c.lines[base+i]; w.lru < victimLRU {
 			victimLRU = w.lru
 			victimIdx = i
 		}
@@ -164,7 +186,7 @@ func (c *Cache) Insert(a mem.Addr) (l *Line, victim Line, evicted bool) {
 place:
 	l = &c.lines[base+victimIdx]
 	*l = Line{Valid: true, Addr: la}
-	c.tags[base+victimIdx] = la
+	c.tags[base+victimIdx] = key
 	return l, victim, evicted
 }
 
@@ -175,22 +197,22 @@ place:
 // lines.
 func (c *Cache) TryInsert(a mem.Addr, canEvict func(*Line) bool) (l *Line, victim Line, evicted bool) {
 	la := mem.LineOf(a)
-	set := c.SetOf(a)
-	base := set * c.ways
+	key := tagOf(la)
+	base := c.SetOf(a) * c.ways
 	victimIdx := -1
 	var victimLRU uint64 = ^uint64(0)
 	for i := 0; i < c.ways; i++ {
-		w := &c.lines[base+i]
-		if c.tags[base+i] == tagInvalid {
-			l = w
+		tag := c.tags[base+i]
+		if tag == tagFree {
+			l = &c.lines[base+i]
 			*l = Line{Valid: true, Addr: la}
-			c.tags[base+i] = la
+			c.tags[base+i] = key
 			return l, Line{}, false
 		}
-		if w.Addr == la {
+		if tag == key {
 			panic(fmt.Sprintf("cache: TryInsert of resident line %#x", la))
 		}
-		if canEvict(w) && w.lru < victimLRU {
+		if w := &c.lines[base+i]; canEvict(w) && w.lru < victimLRU {
 			victimLRU = w.lru
 			victimIdx = i
 		}
@@ -202,20 +224,20 @@ func (c *Cache) TryInsert(a mem.Addr, canEvict func(*Line) bool) (l *Line, victi
 	c.Evictions++
 	l = &c.lines[base+victimIdx]
 	*l = Line{Valid: true, Addr: la}
-	c.tags[base+victimIdx] = la
+	c.tags[base+victimIdx] = key
 	return l, victim, true
 }
 
 // Invalidate removes a's line if present and returns a copy of it.
 func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
-	la := mem.LineOf(a)
+	key := tagOf(mem.LineOf(a))
 	base := c.SetOf(a) * c.ways
 	for i := 0; i < c.ways; i++ {
-		if c.tags[base+i] == la {
+		if c.tags[base+i] == key {
 			l := &c.lines[base+i]
 			old := *l
 			*l = Line{}
-			c.tags[base+i] = tagInvalid
+			c.tags[base+i] = tagFree
 			return old, true
 		}
 	}
@@ -227,7 +249,7 @@ func (c *Cache) Invalidate(a mem.Addr) (Line, bool) {
 func (c *Cache) HasInvalidWay(a mem.Addr) bool {
 	base := c.SetOf(a) * c.ways
 	for i := 0; i < c.ways; i++ {
-		if c.tags[base+i] == tagInvalid {
+		if c.tags[base+i] == tagFree {
 			return true
 		}
 	}
@@ -242,12 +264,11 @@ func (c *Cache) MinLastAccess(a mem.Addr) (min mem.Cycle, full bool) {
 	full = true
 	min = ^mem.Cycle(0)
 	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if !l.Valid {
+		if c.tags[base+i] == tagFree {
 			full = false
 			continue
 		}
-		if l.LastAccess < min {
+		if l := &c.lines[base+i]; l.LastAccess < min {
 			min = l.LastAccess
 		}
 	}
@@ -257,22 +278,22 @@ func (c *Cache) MinLastAccess(a mem.Addr) (min mem.Cycle, full bool) {
 	return min, full
 }
 
-// ForEach calls fn for every valid line. Used by drain/flush paths and
+// ForEach calls fn for every held line. Used by drain/flush paths and
 // tests; fn must not insert or invalidate concurrently.
 func (c *Cache) ForEach(fn func(*Line)) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
+	for i, tag := range c.tags {
+		if tag != tagFree {
 			fn(&c.lines[i])
 		}
 	}
 }
 
-// CountValid returns the number of valid lines (test helper and occupancy
+// CountValid returns the number of held lines (test helper and occupancy
 // metric).
 func (c *Cache) CountValid() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
+	for _, tag := range c.tags {
+		if tag != tagFree {
 			n++
 		}
 	}

@@ -37,6 +37,22 @@ func NewClassifier(cores, limitedK int) Classifier {
 	return newLimited(cores, limitedK)
 }
 
+// Lookup is Classifier.Lookup with the dynamic dispatch peeled for the two
+// built-in implementations. It sits on the protocol's per-transaction hot
+// path, where the classifier is always one of the package's own types; the
+// type switch turns the interface call into direct (and, for Complete,
+// inlined) code while staying correct for external implementations.
+func Lookup(c Classifier, core int) *CoreState {
+	switch c := c.(type) {
+	case *limited:
+		return c.Lookup(core)
+	case *complete:
+		return &c.states[core]
+	default:
+		return c.Lookup(core)
+	}
+}
+
 // complete tracks every core (Figure 6).
 type complete struct {
 	states []CoreState

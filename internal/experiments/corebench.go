@@ -1,5 +1,7 @@
 package experiments
 
+import "lacc/internal/sim"
+
 // Core-benchmark definitions shared by the repo's published go test
 // benchmarks (bench_test.go: BenchmarkAckwiseVsFullmap and
 // BenchmarkFig8And9Sweep) and cmd/lacc-bench's benchcore regression
@@ -37,6 +39,27 @@ var CoreBenchMultiSweepPCTs = [][]int{
 	{1, 2, 4, 8},
 	{1, 4, 8},
 	{1, 2, 4, 8, 12},
+}
+
+// CoreBenchLargeMesh256Options returns the large-mesh machine the
+// LargeMesh256 benchmark runs on: 256 cores on a 16x16 mesh — four times
+// the paper's Table 1 core count — at 0.1 scale, seed 1.
+func CoreBenchLargeMesh256Options() Options {
+	return Options{
+		Cores: 256, MeshWidth: 16, Scale: 0.1, Seed: 1,
+		Benchmarks: []string{"streamcluster"},
+	}
+}
+
+// CoreBenchLargeMesh256 runs one iteration of the tracked large-mesh
+// scenario: streamcluster at 256 cores under the adaptive protocol and the
+// full-map MESI baseline. Large meshes are where per-access engine costs
+// compound — 16-deep run-queue levels, broadcast trees spanning 256 tiles,
+// full-map sharer vectors 256 wide — so this benchmark gates the engine's
+// scalability rather than its small-machine throughput.
+func CoreBenchLargeMesh256() (*ProtocolComparisonResult, error) {
+	return ProtocolComparison(CoreBenchLargeMesh256Options(),
+		[]sim.ProtocolKind{sim.ProtocolAdaptive, sim.ProtocolMESI})
 }
 
 // CoreBenchMultiSweep runs one iteration of the tracked multi-experiment

@@ -81,13 +81,19 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// baseConfig returns the machine configuration for this Options.
+// baseConfig returns the machine configuration for this Options. The
+// golden-store functional checker is disabled unless the caller supplied
+// an explicit Config: it is a test/debug aid whose versions never feed any
+// Result field (sim's TestCheckValuesNeutral pins the bit-identity), and an
+// experiment session runs thousands of simulations that would otherwise
+// each pay a hash-table update per store plus a full end-of-run audit.
 func (o Options) baseConfig() sim.Config {
 	var cfg sim.Config
 	if o.Config != nil {
 		cfg = *o.Config
 	} else {
 		cfg = sim.Default()
+		cfg.CheckValues = false
 	}
 	cfg.Cores = o.Cores
 	cfg.MeshWidth = o.MeshWidth

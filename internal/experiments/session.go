@@ -41,13 +41,22 @@ type runEntry struct {
 type Session struct {
 	mu   sync.Mutex
 	runs map[runKey]*runEntry
-	sims []*sim.Simulator
 }
 
 // NewSession returns an empty session.
 func NewSession() *Session {
 	return &Session{runs: map[runKey]*runEntry{}}
 }
+
+// simPool recycles Simulators across jobs, sessions and experiment calls.
+// Unlike result memoization (which is scoped to a Session so measurements
+// stay honest), a pooled simulator carries no results — only allocated
+// arenas — and Reset restores it to fresh-construction behavior bit for
+// bit (sim's TestResetReproducesFreshSimulator), so sharing the pool
+// process-wide is safe and removes the dominant allocation of short
+// experiment batches: rebuilding every tile's tag arrays and directory
+// tables. sync.Pool keeps the footprint GC-bounded.
+var simPool = sync.Pool{}
 
 // claim returns the entry for k, creating it if absent. claimed reports
 // whether the caller now owns the entry and must run the simulation and
@@ -73,20 +82,11 @@ func (s *Session) forget(k runKey) {
 // getSim pops an idle pooled simulator, or returns nil when the pool is
 // empty (the worker then constructs one for its first job).
 func (s *Session) getSim() *sim.Simulator {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := len(s.sims)
-	if n == 0 {
-		return nil
-	}
-	x := s.sims[n-1]
-	s.sims = s.sims[:n-1]
+	x, _ := simPool.Get().(*sim.Simulator)
 	return x
 }
 
 // putSim returns a simulator to the idle pool.
 func (s *Session) putSim(x *sim.Simulator) {
-	s.mu.Lock()
-	s.sims = append(s.sims, x)
-	s.mu.Unlock()
+	simPool.Put(x)
 }

@@ -113,8 +113,13 @@ func (t *Table[V]) grow() {
 
 // Clear removes every stored key, keeping the grown capacity so a reused
 // table re-fills without re-growing. Lookups and insertion behave exactly
-// as on a fresh table.
+// as on a fresh table. Clearing an already-empty table is free, so
+// unconditional clears of rarely-used stores (e.g. the version stores with
+// the functional checker off) cost nothing.
 func (t *Table[V]) Clear() {
+	if t.live == 0 {
+		return
+	}
 	clear(t.slots)
 	t.live = 0
 }

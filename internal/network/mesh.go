@@ -123,6 +123,17 @@ func (m *Mesh) occupy(tile int, d Direction, t mem.Cycle, flits int) mem.Cycle {
 	return t + mem.Cycle(m.cfg.HopLatency)
 }
 
+// traverse is occupy without the flit accounting; Unicast batches the
+// counter updates (flits x hops) into one pair of adds per message.
+func (m *Mesh) traverse(tile int, d Direction, t mem.Cycle, flits int) mem.Cycle {
+	link := tile*int(numDirections) + int(d)
+	if m.linkFree[link] > t {
+		t = m.linkFree[link]
+	}
+	m.linkFree[link] = t + mem.Cycle(flits)
+	return t + mem.Cycle(m.cfg.HopLatency)
+}
+
 // step advances the message head across one link (occupy plus the XY walk);
 // broadcast uses it, while the unicast hot path tracks coordinates
 // incrementally to avoid recomputing them per hop.
@@ -158,23 +169,26 @@ func (m *Mesh) Unicast(src, dst int, flits int, depart mem.Cycle) mem.Cycle {
 	cur := src
 	sx, sy := m.XY(src)
 	dx, dy := m.XY(dst)
+	hopFlits := uint64((abs(sx-dx) + abs(sy-dy)) * flits)
+	m.LinkFlits += hopFlits
+	m.RouterFlits += hopFlits
 	for sx < dx { // X first
-		t = m.occupy(cur, East, t, flits)
+		t = m.traverse(cur, East, t, flits)
 		sx++
 		cur++
 	}
 	for sx > dx {
-		t = m.occupy(cur, West, t, flits)
+		t = m.traverse(cur, West, t, flits)
 		sx--
 		cur--
 	}
 	for sy < dy { // then Y
-		t = m.occupy(cur, South, t, flits)
+		t = m.traverse(cur, South, t, flits)
 		sy++
 		cur += m.cfg.Width
 	}
 	for sy > dy {
-		t = m.occupy(cur, North, t, flits)
+		t = m.traverse(cur, North, t, flits)
 		sy--
 		cur -= m.cfg.Width
 	}

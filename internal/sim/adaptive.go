@@ -106,7 +106,7 @@ func (s *adaptiveProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.
 	l1l2 += tArr - t
 	t = tArr
 
-	entry, l2line, tDir, wait, fill := s.lookupEntry(s, home, la, t)
+	entry, l2line, tDir, wait, fill := s.lookupEntry(s, c, home, la, t)
 	offchip += fill
 	l1l2 += mem.Cycle(s.cfg.L2Latency)
 	t = tDir
@@ -118,7 +118,7 @@ func (s *adaptiveProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.
 	}
 
 	// Classifier inputs are computed before this access touches the line.
-	st := entry.cls.Lookup(c.id)
+	st := core.Lookup(entry.cls, c.id)
 	tsPass := false
 	if s.cfg.Protocol.UseTimestamp {
 		minLA, full := s.tiles[c.id].l1d.MinLastAccess(la)
@@ -461,7 +461,7 @@ func (s *adaptiveProtocol) dropRequesterCopy(c *coreState, la mem.Addr, entry *d
 // classifyRemoval applies the PCT classification when a core's private copy
 // leaves its L1 (Section 3.2) and counts demotions.
 func (s *adaptiveProtocol) classifyRemoval(entry *dirEntry, id int, util uint32, eviction bool) {
-	st := entry.cls.Lookup(id)
+	st := core.Lookup(entry.cls, id)
 	was := st.Mode
 	core.Classify(s.cfg.Protocol, st, util, eviction)
 	if was == core.ModePrivate && st.Mode == core.ModeRemote {
@@ -584,7 +584,7 @@ func (s *adaptiveProtocol) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		mc := s.dram.TileOf(ctrl)
 		s.mesh.Unicast(home, mc, 9, t)
 		s.dram.Write(ctrl, mem.LineBytes, t)
-		s.dramVer.set(la, version)
+		s.dramVerSet(la, version)
 		s.meter.L2LineReads++
 	}
 	s.removeDirEntry(home, la, entry)
@@ -612,7 +612,7 @@ func (s *adaptiveProtocol) PageMove(recl *nuca.Reclassification, t mem.Cycle) {
 		ctrl := s.dram.ControllerOf(la)
 		if old.Dirty {
 			s.dram.Write(ctrl, mem.LineBytes, t)
-			s.dramVer.set(la, old.Version)
+			s.dramVerSet(la, old.Version)
 			s.mesh.Unicast(oldHome, s.dram.TileOf(ctrl), 9, t)
 		}
 		s.meter.L2LineReads++

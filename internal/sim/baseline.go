@@ -285,7 +285,7 @@ func (d *fullMapDirectory) L2Evict(home int, victim cache.Line, t mem.Cycle) {
 		mc := d.dram.TileOf(ctrl)
 		d.mesh.Unicast(home, mc, 9, t)
 		d.dram.Write(ctrl, mem.LineBytes, t)
-		d.dramVer.set(la, version)
+		d.dramVerSet(la, version)
 		d.meter.L2LineReads++
 	}
 	d.removeDirEntry(home, la, entry)
@@ -312,7 +312,7 @@ func (d *fullMapDirectory) PageMove(recl *nuca.Reclassification, t mem.Cycle) {
 		ctrl := d.dram.ControllerOf(la)
 		if old.Dirty {
 			d.dram.Write(ctrl, mem.LineBytes, t)
-			d.dramVer.set(la, old.Version)
+			d.dramVerSet(la, old.Version)
 			d.mesh.Unicast(oldHome, d.dram.TileOf(ctrl), 9, t)
 		}
 		d.meter.L2LineReads++

@@ -382,6 +382,174 @@ func sliceStreams(prog [][]mem.Access) []trace.Stream {
 	return streams
 }
 
+// buildLockHeavyProgram emits a synchronization-dominated workload: short
+// critical sections on a handful of contended locks around accesses to a
+// single shared page, with barriers between rounds. Lock grants and
+// barrier releases reshape the run queue mid-run, which is exactly the
+// machinery that ends a horizon batch, so this program stresses the
+// engine's batch-boundary handling rather than its fast path.
+func buildLockHeavyProgram(rng *rand.Rand, cores int) [][]mem.Access {
+	const rounds = 4
+	dataBase := mem.Addr(1) << 23
+	randWord := func() mem.Addr {
+		return dataBase + mem.Addr(rng.Intn(mem.PageBytes/mem.WordBytes))*mem.WordBytes
+	}
+	progs := make([][]mem.Access, cores)
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < cores; c++ {
+			for i := 0; i < 40; i++ {
+				id := uint64(1 + rng.Intn(3))
+				kind := mem.Read
+				if rng.Intn(2) == 0 {
+					kind = mem.Write
+				}
+				progs[c] = append(progs[c],
+					mem.Access{Kind: mem.Lock, Addr: mem.Addr(id)},
+					mem.Access{Kind: kind, Addr: randWord(), Gap: uint32(rng.Intn(3))},
+					mem.Access{Kind: mem.Unlock, Addr: mem.Addr(id)})
+			}
+			progs[c] = append(progs[c], mem.Access{Kind: mem.Barrier, Addr: mem.Addr(7000 + r)})
+		}
+	}
+	return progs
+}
+
+// buildBarrierHeavyProgram alternates tiny access bursts with global
+// barriers, so cores spend most of the run parking and releasing — the
+// worst case for horizon batching (batches of length zero or one, heap
+// reshaped constantly).
+func buildBarrierHeavyProgram(rng *rand.Rand, cores int) [][]mem.Access {
+	const rounds = 40
+	dataBase := mem.Addr(1) << 24
+	progs := make([][]mem.Access, cores)
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < cores; c++ {
+			n := 1 + rng.Intn(4)
+			for i := 0; i < n; i++ {
+				kind := mem.Read
+				if rng.Intn(3) == 0 {
+					kind = mem.Write
+				}
+				a := dataBase + mem.Addr(rng.Intn(4*mem.PageBytes/mem.WordBytes))*mem.WordBytes
+				progs[c] = append(progs[c], mem.Access{Kind: kind, Addr: a, Gap: uint32(rng.Intn(6))})
+			}
+			progs[c] = append(progs[c], mem.Access{Kind: mem.Barrier, Addr: mem.Addr(8000 + r)})
+		}
+	}
+	return progs
+}
+
+// runProgramGeneric executes prog on a fast-layout simulator pinned to the
+// generic interface-dispatch loop (forceGeneric), the reference
+// formulation the batched monomorphic engines must reproduce.
+func runProgramGeneric(t *testing.T, cfg Config, prog [][]mem.Access) (*Simulator, *Result) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.forceGeneric = true
+	res, err := s.Run(sliceStreams(prog))
+	if err != nil {
+		t.Fatalf("generic engine: %v", err)
+	}
+	return s, res
+}
+
+// TestEngineBatchedVsGeneric is the execution-engine equivalence property:
+// for every protocol, machine geometry and workload shape, the
+// horizon-batched monomorphic loops (engine.go) must reproduce the generic
+// one-op-per-heap-touch interface-dispatch loop bit for bit — every Result
+// field, both version stores and the final directory state. The generic
+// loop is the reference implementation; the batched engine's claim is that
+// retiring a run of the root core's accesses without re-keying is
+// unobservable, and this test is that claim's proof over randomized mixed,
+// lock-heavy and barrier-heavy programs.
+func TestEngineBatchedVsGeneric(t *testing.T) {
+	protocols := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"adaptive", func(c *Config) {}},
+		{"adaptive-timestamp", func(c *Config) { c.Protocol.UseTimestamp = true }},
+		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
+		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
+		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+	}
+	geometries := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"4core-2x2", func(c *Config) {}},
+		{"8core-4x2", func(c *Config) {
+			c.Cores, c.MeshWidth, c.MemControllers = 8, 4, 4
+		}},
+		{"2core-2x1", func(c *Config) {
+			c.Cores, c.MeshWidth, c.MemControllers = 2, 2, 2
+		}},
+	}
+	programs := []struct {
+		name  string
+		build func(*rand.Rand, int) [][]mem.Access
+	}{
+		{"mixed", buildRandomProgram},
+		{"lock-heavy", buildLockHeavyProgram},
+		{"barrier-heavy", buildBarrierHeavyProgram},
+	}
+	for _, p := range protocols {
+		for _, g := range geometries {
+			for _, w := range programs {
+				p, g, w := p, g, w
+				t.Run(p.name+"/"+g.name+"/"+w.name, func(t *testing.T) {
+					t.Parallel()
+					cfg := diffConfig()
+					g.mut(&cfg)
+					p.mut(&cfg)
+					prog := w.build(rand.New(rand.NewSource(11)), cfg.Cores)
+
+					batchedSim, batchedRes := runProgram(t, cfg, false, prog)
+					genericSim, genericRes := runProgramGeneric(t, cfg, prog)
+					compareStates(t, "batched vs generic", batchedSim, batchedRes, genericSim, genericRes)
+				})
+			}
+		}
+	}
+}
+
+// TestCheckValuesNeutral pins that the golden-store functional checker is
+// observationally pure: running with CheckValues off must produce the
+// exact same Result as with it on, for every protocol. The experiment
+// layer relies on this to disable the checker (and its per-store version
+// bookkeeping) in benchmark runs.
+func TestCheckValuesNeutral(t *testing.T) {
+	protocols := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"adaptive", func(c *Config) {}},
+		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
+		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
+		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+	}
+	for _, p := range protocols {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := diffConfig()
+			p.mut(&cfg)
+			prog := buildRandomProgram(rand.New(rand.NewSource(13)), cfg.Cores)
+
+			cfg.CheckValues = true
+			_, checked := runProgram(t, cfg, false, prog)
+			cfg.CheckValues = false
+			_, unchecked := runProgram(t, cfg, false, prog)
+			if !reflect.DeepEqual(checked, unchecked) {
+				t.Errorf("CheckValues changed the result:\n on:  %+v\n off: %+v", checked, unchecked)
+			}
+		})
+	}
+}
+
 // TestDifferentialExercisesProtocolMachinery guards the differential test's
 // coverage: the randomized program on the shrunken machine must actually
 // drive the paths the flat core rewrote — evictions at both levels,

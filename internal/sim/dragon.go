@@ -81,7 +81,7 @@ func (p *dragonProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Ad
 	l1l2 += tArr - t
 	t = tArr
 
-	entry, l2line, tDir, wait, fill := p.lookupEntry(p, home, la, t)
+	entry, l2line, tDir, wait, fill := p.lookupEntry(p, c, home, la, t)
 	offchip += fill
 	l1l2 += mem.Cycle(p.cfg.L2Latency)
 	t = tDir

@@ -1,0 +1,330 @@
+package sim
+
+// The execution engine: the run loop that drains the per-core run queue.
+//
+// Two formulations coexist. runGeneric is the reference: one operation per
+// heap touch, protocol dispatch through the Protocol interface — the loop
+// as originally written, kept verbatim as the semantic baseline the
+// differential tests replay against (TestEngineBatchedVsGeneric).
+//
+// The fast engine (runAdaptive/runMESI/runDragon) applies two transforms
+// that leave the execution order provably unchanged:
+//
+//   - Horizon batching. The outer loop snapshots the run queue's second
+//     smallest key (coreQueue.horizon). While the root core's re-keyed
+//     (time, id) stays strictly below that horizon it is still the global
+//     minimum — nothing else touches the queue during data accesses, so
+//     the other keys are frozen — and the pop/push formulation would pick
+//     it again. The inner loop therefore retires an entire run of the root
+//     core's accesses with zero heap operations, re-keying once when the
+//     core crosses the horizon. Synchronization operations (barrier, lock,
+//     unlock) and stream exhaustion reshape the heap, so they end the
+//     batch and fall back to the shared slow-path helpers.
+//
+//   - Monomorphic dispatch. Run type-switches once on the configured
+//     protocol and enters a loop specialized to its concrete type, so the
+//     per-access Protocol.DataAccess interface call (and the nested
+//     protocolCore.missPath dispatch) become direct calls. The L1-hit fast
+//     path — tag probe via the core's MRU line hint, then the shared
+//     protocol-neutral hit epilogue — is inlined into the loop body;
+//     anything else falls into the protocol's full missPath transaction.
+//
+// The three monomorphic loops are intentionally identical source text
+// modulo the protocol type; keep them in sync with each other and with
+// runGeneric + dataAccess (protocol.go). Externally registered protocols
+// and the reference core run the generic loop.
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+)
+
+// runEngine drains the run queue, dispatching to the engine matching the
+// configured protocol.
+func (s *Simulator) runEngine() error {
+	if s.reference || s.forceGeneric {
+		return s.runGeneric()
+	}
+	switch p := s.proto.(type) {
+	case *adaptiveProtocol:
+		return s.runAdaptive(p)
+	case *mesiProtocol:
+		return s.runMESI(p)
+	case *dragonProtocol:
+		return s.runDragon(p)
+	default:
+		return s.runGeneric()
+	}
+}
+
+// runGeneric is the reference engine: the globally earliest core executes
+// one operation as an atomic transaction, then is re-keyed at its advanced
+// clock. The core stays at the heap root while it executes (nothing else
+// touches the queue mid-transaction), so the requeue is a replaceTop — a
+// single sift-down that degenerates to two comparisons in the common case
+// of a core staying earliest across consecutive L1 hits — instead of a
+// full pop+push cycle. Keys are unique ((time, id) with ids distinct), so
+// the execution order is identical to the pop+push formulation.
+func (s *Simulator) runGeneric() error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.top()
+		c := &s.cores[id]
+		a, ok := c.next()
+		if !ok {
+			s.retireTop(c)
+			continue
+		}
+		if a.Gap > 0 {
+			c.now += mem.Cycle(a.Gap)
+			c.bd.Compute += float64(a.Gap)
+		}
+		switch a.Kind {
+		case mem.Read, mem.Write:
+			s.instrFetch(c, a.Gap)
+			s.proto.DataAccess(c, a.Kind, a.Addr)
+			s.runQ.replaceTop(c.now, int32(id))
+		default:
+			if err := s.syncOp(c, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// retireTop marks the heap-root core's stream exhausted and removes it,
+// releasing a barrier its exit may complete.
+func (s *Simulator) retireTop(c *coreState) {
+	c.done = true
+	s.runQ.popTop()
+	s.maybeReleaseBarrier()
+}
+
+// syncOp executes a non-data operation for the heap-root core. All of them
+// may reshape the run queue (parking, granting or releasing cores), so the
+// batched loops end their batch after calling it.
+func (s *Simulator) syncOp(c *coreState, a mem.Access) error {
+	switch a.Kind {
+	case mem.Barrier:
+		s.runQ.popTop()
+		s.barrierArrive(c, a.Addr)
+	case mem.Lock:
+		s.runQ.popTop() // lockAcquire re-queues the core when granted
+		s.lockAcquire(c, uint64(a.Addr))
+	case mem.Unlock:
+		s.lockRelease(c, uint64(a.Addr))
+		s.runQ.replaceTop(c.now, int32(c.id))
+	default:
+		return fmt.Errorf("sim: core %d emitted unknown op %v", c.id, a.Kind)
+	}
+	return nil
+}
+
+// runAdaptive is the monomorphic horizon-batched engine for the paper's
+// locality-aware adaptive protocol. See the package comment above for the
+// invariants; the body must stay in lock-step with runMESI and runDragon.
+func (s *Simulator) runAdaptive(p *adaptiveProtocol) error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.q[0].id
+		c := &s.cores[id]
+		hz := s.runQ.horizon()
+		l1 := s.tiles[id].l1d
+		for {
+			var a mem.Access
+			if c.bufIdx < len(c.buf) {
+				a = c.buf[c.bufIdx]
+				c.bufIdx++
+			} else {
+				var ok bool
+				if a, ok = c.refill(); !ok {
+					s.retireTop(c)
+					break
+				}
+			}
+			if a.Gap > 0 {
+				c.now += mem.Cycle(a.Gap)
+				c.bd.Compute += float64(a.Gap)
+			}
+			if !a.Kind.IsData() {
+				if err := s.syncOp(c, a); err != nil {
+					return err
+				}
+				break
+			}
+			s.instrFetch(c, a.Gap)
+			la := mem.LineOf(a.Addr)
+			line := c.lastL1D
+			if !l1.Holds(line, la) {
+				line = l1.Probe(la)
+			}
+			if line != nil && (a.Kind == mem.Read || line.State != lineS) {
+				// Inlined l1DataHit (protocol.go): the epilogue is above the
+				// compiler's inlining budget, and this is the single hottest
+				// block of a simulation. Keep the two in lock-step.
+				c.lastL1D = line
+				c.l1d.Hits++
+				line.Util++
+				l1.Touch(line, c.now)
+				if a.Kind == mem.Write {
+					s.meter.L1DWrites++
+					line.State = lineM
+					line.Dirty = true
+					line.Version = s.goldenWrite(la)
+				} else {
+					s.meter.L1DReads++
+					if s.cfg.CheckValues {
+						s.checkVersion("L1 read hit", la, line.Version)
+					}
+				}
+				c.now += mem.Cycle(s.cfg.L1DLatency)
+			} else {
+				p.missPath(c, a.Kind, a.Addr, line != nil)
+			}
+			if c.now < hz.now || (c.now == hz.now && id < hz.id) {
+				continue
+			}
+			s.runQ.replaceTop(c.now, id)
+			break
+		}
+	}
+	return nil
+}
+
+// runMESI is the monomorphic horizon-batched engine for the full-map MESI
+// baseline; lock-step copy of runAdaptive.
+func (s *Simulator) runMESI(p *mesiProtocol) error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.q[0].id
+		c := &s.cores[id]
+		hz := s.runQ.horizon()
+		l1 := s.tiles[id].l1d
+		for {
+			var a mem.Access
+			if c.bufIdx < len(c.buf) {
+				a = c.buf[c.bufIdx]
+				c.bufIdx++
+			} else {
+				var ok bool
+				if a, ok = c.refill(); !ok {
+					s.retireTop(c)
+					break
+				}
+			}
+			if a.Gap > 0 {
+				c.now += mem.Cycle(a.Gap)
+				c.bd.Compute += float64(a.Gap)
+			}
+			if !a.Kind.IsData() {
+				if err := s.syncOp(c, a); err != nil {
+					return err
+				}
+				break
+			}
+			s.instrFetch(c, a.Gap)
+			la := mem.LineOf(a.Addr)
+			line := c.lastL1D
+			if !l1.Holds(line, la) {
+				line = l1.Probe(la)
+			}
+			if line != nil && (a.Kind == mem.Read || line.State != lineS) {
+				// Inlined l1DataHit (protocol.go): the epilogue is above the
+				// compiler's inlining budget, and this is the single hottest
+				// block of a simulation. Keep the two in lock-step.
+				c.lastL1D = line
+				c.l1d.Hits++
+				line.Util++
+				l1.Touch(line, c.now)
+				if a.Kind == mem.Write {
+					s.meter.L1DWrites++
+					line.State = lineM
+					line.Dirty = true
+					line.Version = s.goldenWrite(la)
+				} else {
+					s.meter.L1DReads++
+					if s.cfg.CheckValues {
+						s.checkVersion("L1 read hit", la, line.Version)
+					}
+				}
+				c.now += mem.Cycle(s.cfg.L1DLatency)
+			} else {
+				p.missPath(c, a.Kind, a.Addr, line != nil)
+			}
+			if c.now < hz.now || (c.now == hz.now && id < hz.id) {
+				continue
+			}
+			s.runQ.replaceTop(c.now, id)
+			break
+		}
+	}
+	return nil
+}
+
+// runDragon is the monomorphic horizon-batched engine for the Dragon
+// write-update baseline; lock-step copy of runAdaptive.
+func (s *Simulator) runDragon(p *dragonProtocol) error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.q[0].id
+		c := &s.cores[id]
+		hz := s.runQ.horizon()
+		l1 := s.tiles[id].l1d
+		for {
+			var a mem.Access
+			if c.bufIdx < len(c.buf) {
+				a = c.buf[c.bufIdx]
+				c.bufIdx++
+			} else {
+				var ok bool
+				if a, ok = c.refill(); !ok {
+					s.retireTop(c)
+					break
+				}
+			}
+			if a.Gap > 0 {
+				c.now += mem.Cycle(a.Gap)
+				c.bd.Compute += float64(a.Gap)
+			}
+			if !a.Kind.IsData() {
+				if err := s.syncOp(c, a); err != nil {
+					return err
+				}
+				break
+			}
+			s.instrFetch(c, a.Gap)
+			la := mem.LineOf(a.Addr)
+			line := c.lastL1D
+			if !l1.Holds(line, la) {
+				line = l1.Probe(la)
+			}
+			if line != nil && (a.Kind == mem.Read || line.State != lineS) {
+				// Inlined l1DataHit (protocol.go): the epilogue is above the
+				// compiler's inlining budget, and this is the single hottest
+				// block of a simulation. Keep the two in lock-step.
+				c.lastL1D = line
+				c.l1d.Hits++
+				line.Util++
+				l1.Touch(line, c.now)
+				if a.Kind == mem.Write {
+					s.meter.L1DWrites++
+					line.State = lineM
+					line.Dirty = true
+					line.Version = s.goldenWrite(la)
+				} else {
+					s.meter.L1DReads++
+					if s.cfg.CheckValues {
+						s.checkVersion("L1 read hit", la, line.Version)
+					}
+				}
+				c.now += mem.Cycle(s.cfg.L1DLatency)
+			} else {
+				p.missPath(c, a.Kind, a.Addr, line != nil)
+			}
+			if c.now < hz.now || (c.now == hz.now && id < hz.id) {
+				continue
+			}
+			s.runQ.replaceTop(c.now, id)
+			break
+		}
+	}
+	return nil
+}

@@ -35,25 +35,27 @@ func hashKey(key uint64, shift uint) uint64 {
 	return (key * 0x9E3779B97F4A7C15) >> shift
 }
 
-// Directory slot states. Removal leaves a tombstone (dirSlotDead) so probe
-// chains stay intact; tombstones are reclaimed by the next grow.
+// Directory key sentinels. A slot's key word is authoritative for its
+// state: 0 is a free slot, all-ones a tombstone (removal leaves one so
+// probe chains stay intact; tombstones are reclaimed by the next grow) and
+// anything else the mem.LineKey of the resident line. Neither sentinel
+// collides with a real key: LineKey is index+1 (never 0) of a 48-bit
+// address (never 2^64-1).
 const (
-	dirSlotEmpty uint8 = iota
-	dirSlotLive
-	dirSlotDead
+	dirKeyEmpty = uint64(0)
+	dirKeyDead  = ^uint64(0)
 )
 
-type dirSlot struct {
-	key   uint64 // mem.LineKey of the line, meaningful when live
-	state uint8
-	entry dirEntry
-}
-
-// dirTable is the flat per-tile directory: an open-addressed table of
-// packed dirEntry values. Each slot owns a fixed p-pointer segment of the
-// table's identity arena, handed to the slot's sharer set at insert, so a
-// directory entry's whole footprint — entry, sharer identities — is two
-// flat arrays with no per-entry allocation.
+// dirTable is the flat per-tile directory: an open-addressed table whose
+// keys and entries live in parallel arrays — probe chains scan the packed
+// 8-byte key array (several slots per hardware cache line) and touch an
+// 80-byte dirEntry record only on the final hit, mirroring the cache
+// package's packed tag arrays. Each slot owns a fixed p-pointer segment of
+// the table's identity arena, handed to the slot's sharer set at insert,
+// so a directory entry's whole footprint — entry, sharer identities — is
+// flat arrays with no per-entry allocation. Because the key array is
+// authoritative, wholesale clearing only wipes keys: entry records behind
+// free slots are unreachable and re-initialized on insertion.
 //
 // Pointer stability: pointers returned by probe/insert remain valid until
 // the next insert (which may grow and relocate the table); remove only
@@ -61,13 +63,19 @@ type dirSlot struct {
 // performs at most one insert per transaction (in lookupEntry), before any
 // entry pointer is retained.
 type dirTable struct {
-	slots []dirSlot
-	arena []int16 // len(slots) * p sharer identities
-	p     int     // sharer pointers per entry
-	mask  uint64
-	shift uint
-	live  int
-	dead  int
+	keys    []uint64   // dirKeyEmpty, dirKeyDead, or mem.LineKey
+	entries []dirEntry // parallel to keys
+	arena   []int16    // len(keys) * p sharer identities
+	p       int        // sharer pointers per entry
+	mask    uint64
+	shift   uint
+	live    int
+	dead    int
+	// epoch counts array reallocations (grow, reshape). Probe hints held
+	// outside the table (coreState.dirHint*) carry the epoch they were
+	// taken under and die when it moves on, so they can never index into
+	// an abandoned array.
+	epoch uint32
 }
 
 // dirTableInitialSlots matches the old map's size hint.
@@ -80,11 +88,13 @@ func newDirTable(p int) *dirTable {
 }
 
 func (d *dirTable) alloc(capacity int) {
-	d.slots = make([]dirSlot, capacity)
+	d.keys = make([]uint64, capacity)
+	d.entries = make([]dirEntry, capacity)
 	d.arena = make([]int16, capacity*d.p)
 	d.mask = uint64(capacity - 1)
 	d.shift = uint(64 - bits.TrailingZeros(uint(capacity)))
 	d.live, d.dead = 0, 0
+	d.epoch++
 }
 
 // backing returns slot i's segment of the identity arena, zero-length with
@@ -95,15 +105,24 @@ func (d *dirTable) backing(i uint64) []int16 {
 }
 
 func (d *dirTable) probe(la mem.Addr) *dirEntry {
+	if i := d.probeIdx(la); i >= 0 {
+		return &d.entries[i]
+	}
+	return nil
+}
+
+// probeIdx returns la's live slot index, or -1. Exposed (package-
+// internally) so lookupEntry can keep an epoch-guarded index hint per
+// core. Tombstoned keys match nothing and keep the chain walking.
+func (d *dirTable) probeIdx(la mem.Addr) int {
 	key := mem.LineKey(la)
 	i := hashKey(key, d.shift)
 	for {
-		s := &d.slots[i]
-		if s.state == dirSlotLive && s.key == key {
-			return &s.entry
-		}
-		if s.state == dirSlotEmpty {
-			return nil
+		switch d.keys[i] {
+		case key:
+			return int(i)
+		case dirKeyEmpty:
+			return -1
 		}
 		i = (i + 1) & d.mask
 	}
@@ -112,101 +131,112 @@ func (d *dirTable) probe(la mem.Addr) *dirEntry {
 // insert claims a slot for la and returns its entry, zeroed except for the
 // arena-backed sharer set. The line must not be present.
 func (d *dirTable) insert(la mem.Addr) *dirEntry {
-	if (d.live+d.dead+1)*4 > len(d.slots)*3 {
+	if (d.live+d.dead+1)*4 > len(d.keys)*3 {
 		d.grow()
 	}
 	key := mem.LineKey(la)
 	i := hashKey(key, d.shift)
 	target := -1 // first tombstone on the probe path, reusable
 	for {
-		s := &d.slots[i]
-		if s.state == dirSlotEmpty {
+		switch d.keys[i] {
+		case key:
+			panic(fmt.Sprintf("sim: directory insert of resident line %#x", la))
+		case dirKeyEmpty:
 			if target < 0 {
 				target = int(i)
 			}
-			break
-		}
-		if s.state == dirSlotLive {
-			if s.key == key {
-				panic(fmt.Sprintf("sim: directory insert of resident line %#x", la))
+		case dirKeyDead:
+			if target < 0 {
+				target = int(i)
 			}
-		} else if target < 0 {
-			target = int(i)
+			i = (i + 1) & d.mask
+			continue
+		default:
+			i = (i + 1) & d.mask
+			continue
 		}
-		i = (i + 1) & d.mask
+		break
 	}
-	s := &d.slots[target]
-	if s.state == dirSlotDead {
+	if d.keys[target] == dirKeyDead {
 		d.dead--
 	}
-	s.key = key
-	s.state = dirSlotLive
-	s.entry = dirEntry{sharers: coherence.NewSharerSetBacked(d.p, d.backing(uint64(target)))}
+	d.keys[target] = key
+	d.entries[target] = dirEntry{sharers: coherence.NewSharerSetBacked(d.p, d.backing(uint64(target)))}
 	d.live++
-	return &s.entry
+	return &d.entries[target]
 }
 
 // remove tombstones la's slot. The line must be present.
 func (d *dirTable) remove(la mem.Addr) {
-	key := mem.LineKey(la)
-	i := hashKey(key, d.shift)
-	for {
-		s := &d.slots[i]
-		if s.state == dirSlotLive && s.key == key {
-			s.entry = dirEntry{}
-			s.key = 0
-			s.state = dirSlotDead
-			d.live--
-			d.dead++
-			return
-		}
-		if s.state == dirSlotEmpty {
-			panic(fmt.Sprintf("sim: directory remove of absent line %#x", la))
-		}
-		i = (i + 1) & d.mask
+	i := d.probeIdx(la)
+	if i < 0 {
+		panic(fmt.Sprintf("sim: directory remove of absent line %#x", la))
 	}
+	d.entries[i] = dirEntry{}
+	d.keys[i] = dirKeyDead
+	d.live--
+	d.dead++
 }
 
 // grow rehashes into a table sized for the live population (doubling when
 // genuinely full, merely dropping tombstones otherwise), rebinding every
 // entry's sharer identities into the new arena.
 func (d *dirTable) grow() {
-	capacity := len(d.slots)
+	capacity := len(d.keys)
 	if (d.live+1)*2 >= capacity {
 		capacity *= 2
 	}
-	old := d.slots
+	oldKeys, oldEntries := d.keys, d.entries
 	d.alloc(capacity)
-	for oi := range old {
-		s := &old[oi]
-		if s.state != dirSlotLive {
+	for oi, key := range oldKeys {
+		if key == dirKeyEmpty || key == dirKeyDead {
 			continue
 		}
-		i := hashKey(s.key, d.shift)
-		for d.slots[i].state == dirSlotLive {
+		i := hashKey(key, d.shift)
+		for d.keys[i] != dirKeyEmpty {
 			i = (i + 1) & d.mask
 		}
-		ns := &d.slots[i]
-		ns.key = s.key
-		ns.state = dirSlotLive
-		ns.entry = s.entry
-		ns.entry.sharers.Rebind(d.backing(i))
+		d.keys[i] = key
+		d.entries[i] = oldEntries[oi]
+		d.entries[i].sharers.Rebind(d.backing(i))
 		d.live++
 	}
 }
 
-// clearAll empties the table, keeping its grown capacity. Sharer-identity
-// arena contents need no wiping: every insert rebinds the slot's segment as
-// a zero-length set.
+// clearAll empties the table, keeping its grown capacity. Only the key
+// array is wiped: entry records behind freed slots are unreachable (probe,
+// forEach and insert all gate on keys) and re-initialized on insertion,
+// and the sharer-identity arena needs no wiping either — every insert
+// rebinds the slot's segment as a zero-length set.
 func (d *dirTable) clearAll() {
-	clear(d.slots)
+	if d.live == 0 && d.dead == 0 {
+		return
+	}
+	clear(d.keys)
 	d.live, d.dead = 0, 0
 }
 
+// reshape empties the table and re-carves its identity arena for a new
+// per-entry pointer count, reusing the slot array (whose capacity is the
+// dominant allocation). Sweeps that flip between ACKwise-p and full-map
+// variants reshape instead of rebuilding.
+func (d *dirTable) reshape(p int) {
+	d.clearAll()
+	if p == d.p {
+		return
+	}
+	d.p = p
+	if need := len(d.keys) * p; cap(d.arena) >= need {
+		d.arena = d.arena[:need]
+	} else {
+		d.arena = make([]int16, need)
+	}
+}
+
 func (d *dirTable) forEach(fn func(la mem.Addr, e *dirEntry)) {
-	for i := range d.slots {
-		if d.slots[i].state == dirSlotLive {
-			fn(mem.Addr((d.slots[i].key-1)<<mem.LineShift), &d.slots[i].entry)
+	for i, key := range d.keys {
+		if key != dirKeyEmpty && key != dirKeyDead {
+			fn(mem.Addr((key-1)<<mem.LineShift), &d.entries[i])
 		}
 	}
 }
@@ -275,6 +305,17 @@ func (d *tileDir) clear() {
 		return
 	}
 	d.flat.clearAll()
+}
+
+// reshape empties the directory and adopts a new per-entry pointer count,
+// reusing storage where the representation allows (see dirTable.reshape).
+func (d *tileDir) reshape(p int) {
+	d.p = p
+	if d.ref != nil {
+		clear(d.ref)
+		return
+	}
+	d.flat.reshape(p)
 }
 
 // The per-core miss-classification history and the golden/DRAM version

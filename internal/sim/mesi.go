@@ -70,7 +70,7 @@ func (p *mesiProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Addr
 	l1l2 += tArr - t
 	t = tArr
 
-	entry, l2line, tDir, wait, fill := p.lookupEntry(p, home, la, t)
+	entry, l2line, tDir, wait, fill := p.lookupEntry(p, c, home, la, t)
 	offchip += fill
 	l1l2 += mem.Cycle(p.cfg.L2Latency)
 	t = tDir

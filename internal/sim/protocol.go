@@ -112,27 +112,14 @@ type protocolCore interface {
 // state, writes hit on an E or M copy (E upgrades to M silently) — and
 // hands everything else to the protocol's miss path: a plain miss, or a
 // write to an S copy (an upgrade under invalidation protocols, an update
-// transaction under Dragon).
+// transaction under Dragon). The engine's monomorphic loops (engine.go)
+// inline this dispatch; the shared l1DataHit epilogue keeps the two paths
+// bit-identical by construction.
 func (s *Simulator) dataAccess(p protocolCore, c *coreState, kind mem.AccessKind, addr mem.Addr) {
 	la := mem.LineOf(addr)
-	tl := &s.tiles[c.id]
-	if line := tl.l1d.Probe(la); line != nil {
+	if line := s.tiles[c.id].l1d.Probe(la); line != nil {
 		if kind == mem.Read || line.State != lineS {
-			c.l1d.Hits++
-			line.Util++
-			tl.l1d.Touch(line, c.now)
-			if kind == mem.Write {
-				s.meter.L1DWrites++
-				line.State = lineM
-				line.Dirty = true
-				line.Version = s.goldenWrite(la)
-			} else {
-				s.meter.L1DReads++
-				if s.cfg.CheckValues {
-					s.checkVersion("L1 read hit", la, line.Version)
-				}
-			}
-			c.now += mem.Cycle(s.cfg.L1DLatency)
+			s.l1DataHit(c, line, kind, la)
 			return
 		}
 		p.missPath(c, kind, addr, true)
@@ -141,17 +128,64 @@ func (s *Simulator) dataAccess(p protocolCore, c *coreState, kind mem.AccessKind
 	p.missPath(c, kind, addr, false)
 }
 
-// lookupEntry walks the home slice for la at time t: it fills the L2 from
-// DRAM when absent (allocating a directory entry through the protocol),
-// serializes on the line's busy window, and charges the L2 access. It
-// returns the entry, the line, the advanced time and the wait/off-chip
-// latency components.
-func (s *Simulator) lookupEntry(p protocolCore, home int, la mem.Addr, t mem.Cycle) (
+// l1DataHit completes a data access that hits in the requester's L1:
+// statistics, LRU touch, the silent E-to-M upgrade on writes and the L1
+// access latency. line is the requester's own L1-D line for la.
+func (s *Simulator) l1DataHit(c *coreState, line *cache.Line, kind mem.AccessKind, la mem.Addr) {
+	c.l1d.Hits++
+	line.Util++
+	s.tiles[c.id].l1d.Touch(line, c.now)
+	if kind == mem.Write {
+		s.meter.L1DWrites++
+		line.State = lineM
+		line.Dirty = true
+		line.Version = s.goldenWrite(la)
+	} else {
+		s.meter.L1DReads++
+		if s.cfg.CheckValues {
+			s.checkVersion("L1 read hit", la, line.Version)
+		}
+	}
+	c.now += mem.Cycle(s.cfg.L1DLatency)
+}
+
+// lookupEntry walks the home slice for la at time t for requester c: it
+// fills the L2 from DRAM when absent (allocating a directory entry through
+// the protocol), serializes on the line's busy window, and charges the L2
+// access. It returns the entry, the line, the advanced time and the
+// wait/off-chip latency components.
+//
+// Both home-side lookups are accelerated by per-core MRU hints: a core
+// performing word-granular remote accesses walks the same (home, line)
+// transaction back to back, so the directory slot (epoch-guarded against
+// table reallocation, see dirTable.epoch) and the home L2 line
+// (cache.Holds) usually validate without a probe. Hints are probe results
+// only — validation failure falls back to the full probes — so behavior is
+// bit-identical with or without them.
+func (s *Simulator) lookupEntry(p protocolCore, c *coreState, home int, la mem.Addr, t mem.Cycle) (
 	entry *dirEntry, l2line *cache.Line, tOut, wait, offchip mem.Cycle) {
 
 	ht := &s.tiles[home]
-	entry = ht.dir.probe(la)
-	l2line = ht.l2.Probe(la)
+	if d := ht.dir.flat; d != nil {
+		// An epoch match guarantees dirHintIdx was taken against the
+		// current arrays, so the bounds and the key comparison are sound;
+		// removal tombstones and wholesale clears rewrite the key word, so
+		// a stale hint can never validate.
+		if c.dirHintTile == int32(home) && c.dirHintEpoch == d.epoch &&
+			d.keys[c.dirHintIdx] == mem.LineKey(la) {
+			entry = &d.entries[c.dirHintIdx]
+		} else if i := d.probeIdx(la); i >= 0 {
+			entry = &d.entries[i]
+			c.dirHintIdx, c.dirHintEpoch, c.dirHintTile = int32(i), d.epoch, int32(home)
+		}
+	} else {
+		entry = ht.dir.probe(la)
+	}
+	if hl := c.l2Hint; c.l2HintTile == int32(home) && ht.l2.Holds(hl, la) {
+		l2line = hl
+	} else if l2line = ht.l2.Probe(la); l2line != nil {
+		c.l2Hint, c.l2HintTile = l2line, int32(home)
+	}
 	if l2line == nil {
 		if entry != nil {
 			panic(fmt.Sprintf("sim: directory entry without L2 line %#x", la))
@@ -221,7 +255,7 @@ func (s *Simulator) l2Fill(home int, la mem.Addr, t mem.Cycle) (*cache.Line, mem
 	if evicted {
 		s.proto.L2Evict(home, victim, t)
 	}
-	line.Version = s.dramVer.get(la)
+	line.Version = s.dramVerGet(la)
 	if s.cfg.CheckValues {
 		s.checkVersion("DRAM fill", la, line.Version)
 	}

@@ -76,6 +76,23 @@ type coreState struct {
 	bd     stats.TimeBreakdown
 	l1d    stats.MissStats
 
+	// lastL1D is the engine's MRU hint: the L1-D line the core's previous
+	// data access resolved to. Word-granular traces touch the same 64B
+	// line repeatedly, so validating the hint (cache.Holds) skips the tag
+	// scan on those runs. Purely an access-path shortcut — Probe has no
+	// side effects, and a stale hint fails validation and re-probes — so
+	// behavior is bit-identical with or without it.
+	lastL1D *cache.Line
+
+	// Home-side MRU hints for lookupEntry: the directory slot index
+	// (epoch-guarded, fast core only) and home L2 line the core's previous
+	// miss transaction resolved to. See lookupEntry.
+	dirHintIdx   int32
+	dirHintEpoch uint32
+	dirHintTile  int32
+	l2Hint       *cache.Line
+	l2HintTile   int32
+
 	l1iHits   uint64
 	l1iMisses uint64
 
@@ -83,10 +100,14 @@ type coreState struct {
 
 	done bool
 
-	// Synthetic instruction stream state.
+	// Synthetic instruction stream state. The fixed-point accumulators
+	// (fetch64, energy8) carry the fetch walk when Simulator.fetch8 >= 0;
+	// the float pair is the fallback formulation (see ifetch.go).
 	pc        int
 	fetchAcc  float64 // pending instruction-line fetches
 	energyAcc float64 // pending fractional L1I energy events
+	fetch64   int64   // pending line fetches, in 64ths of a line
+	energy8   int64   // pending energy events, in 8ths of an instruction
 	// l1iResident counts resident code lines; once it reaches
 	// Config.CodeLines the L1-I can no longer miss (l1iWarm) and the fetch
 	// walk short-circuits to hit counting.
@@ -130,8 +151,19 @@ type Simulator struct {
 	// compare every result bit (see differential_test.go).
 	reference bool
 
+	// forceGeneric pins the run engine to the generic interface-dispatch
+	// loop even on the fast storage layout. The differential tests use it
+	// to prove the horizon-batched monomorphic loops (engine.go) execute
+	// bit-identically to the reference formulation, isolated from the
+	// storage-layout axis. The reference core always runs generic.
+	forceGeneric bool
+
 	golden  verStore // committed version per line
 	dramVer verStore // version resident in DRAM
+
+	// fetch8 is Config.FetchPerOp in eighths of an instruction when the
+	// fixed-point instruction-fetch mode applies, -1 otherwise (ifetch.go).
+	fetch8 int64
 
 	locks     map[uint64]*lockState
 	barrierID mem.Addr
@@ -270,21 +302,29 @@ func (s *Simulator) Reset(cfg Config) error {
 		s.clsPool = nil // the adaptive factory rebuilds it on demand
 	}
 
-	sameTiles := !fresh && len(s.tiles) == cfg.Cores &&
+	// The cache arrays and the directory tables have independent reuse
+	// conditions: a sweep flipping between ACKwise-p and full-map variants
+	// changes only the per-entry sharer pointer width, so the (much
+	// larger) tag arrays are kept and only the directories are recarved.
+	dirPointers := dirPointersFor(cfg)
+	sameCaches := !fresh && len(s.tiles) == cfg.Cores &&
 		old.L1ISizeKB == cfg.L1ISizeKB && old.L1IWays == cfg.L1IWays &&
 		old.L1DSizeKB == cfg.L1DSizeKB && old.L1DWays == cfg.L1DWays &&
-		old.L2SizeKB == cfg.L2SizeKB && old.L2Ways == cfg.L2Ways &&
-		dirPointersFor(old) == dirPointersFor(cfg)
-	if sameTiles {
+		old.L2SizeKB == cfg.L2SizeKB && old.L2Ways == cfg.L2Ways
+	sameDir := sameCaches && dirPointersFor(old) == dirPointers
+	if sameCaches {
 		for i := range s.tiles {
 			t := &s.tiles[i]
 			t.l1i.Reset()
 			t.l1d.Reset()
 			t.l2.Reset()
-			t.dir.clear()
+			if sameDir {
+				t.dir.clear()
+			} else {
+				t.dir.reshape(dirPointers)
+			}
 		}
 	} else {
-		dirPointers := dirPointersFor(cfg)
 		s.tiles = make([]tile, cfg.Cores)
 		for i := range s.tiles {
 			s.tiles[i] = tile{
@@ -312,6 +352,7 @@ func (s *Simulator) Reset(cfg Config) error {
 	s.replicaHits, s.replicaInserts, s.replicaEvictions = 0, 0, 0
 
 	s.cfg = cfg
+	s.fetch8 = fetchFixedPoint(cfg.FetchPerOp)
 	s.proto = newProtocol(s)
 	return nil
 }
@@ -320,14 +361,17 @@ func (s *Simulator) Reset(cfg Config) error {
 // result. The streams are closed before returning. Run may be called again
 // only after Reset.
 func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
-	if len(streams) != s.cfg.Cores {
-		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), s.cfg.Cores)
-	}
+	// Close the streams on every exit path, including the arity error
+	// below: spilled-corpus streams pin refcounted file descriptors that
+	// would otherwise leak when a caller miscounts cores.
 	defer func() {
 		for _, st := range streams {
 			st.Close()
 		}
 	}()
+	if len(streams) != s.cfg.Cores {
+		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), s.cfg.Cores)
+	}
 	if len(s.cores) != s.cfg.Cores {
 		s.cores = make([]coreState, s.cfg.Cores)
 		for i := range s.cores {
@@ -357,45 +401,8 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 		s.runQ.push(s.cores[i].now, int32(i))
 	}
 
-	// The globally earliest core executes one operation as an atomic
-	// transaction, then is re-keyed at its advanced clock. The core stays
-	// at the heap root while it executes (nothing else touches the queue
-	// mid-transaction), so the requeue is a replaceTop — a single
-	// sift-down that degenerates to two comparisons in the common case of
-	// a core staying earliest across consecutive L1 hits — instead of a
-	// full pop+push cycle. Keys are unique ((time, id) with ids distinct),
-	// so the execution order is identical to the pop+push formulation.
-	for len(s.runQ.q) > 0 {
-		id := s.runQ.top()
-		c := &s.cores[id]
-		a, ok := c.next()
-		if !ok {
-			c.done = true
-			s.runQ.popTop()
-			s.maybeReleaseBarrier()
-			continue
-		}
-		if a.Gap > 0 {
-			c.now += mem.Cycle(a.Gap)
-			c.bd.Compute += float64(a.Gap)
-		}
-		switch a.Kind {
-		case mem.Read, mem.Write:
-			s.instrFetch(c, a.Gap)
-			s.proto.DataAccess(c, a.Kind, a.Addr)
-			s.runQ.replaceTop(c.now, int32(id))
-		case mem.Barrier:
-			s.runQ.popTop()
-			s.barrierArrive(c, a.Addr)
-		case mem.Lock:
-			s.runQ.popTop() // lockAcquire re-queues the core when granted
-			s.lockAcquire(c, uint64(a.Addr))
-		case mem.Unlock:
-			s.lockRelease(c, uint64(a.Addr))
-			s.runQ.replaceTop(c.now, int32(id))
-		default:
-			return nil, fmt.Errorf("sim: core %d emitted unknown op %v", id, a.Kind)
-		}
+	if err := s.runEngine(); err != nil {
+		return nil, err
 	}
 	if err := s.checkQuiescence(); err != nil {
 		return nil, err
@@ -409,13 +416,20 @@ func (s *Simulator) Run(streams []trace.Stream) (*Result, error) {
 }
 
 // next returns the core's next trace operation, consuming whole chunks
-// from batch-capable streams.
+// from batch-capable streams. The engine's monomorphic loops inline the
+// buffered fast path and fall back to refill directly.
 func (c *coreState) next() (mem.Access, bool) {
 	if c.bufIdx < len(c.buf) {
 		a := c.buf[c.bufIdx]
 		c.bufIdx++
 		return a, true
 	}
+	return c.refill()
+}
+
+// refill is the slow half of next: it fetches the next chunk from a
+// batch-capable stream, or one access from a plain stream.
+func (c *coreState) refill() (mem.Access, bool) {
 	if c.chunks != nil {
 		chunk, ok := c.chunks.NextChunk()
 		if !ok {
@@ -589,9 +603,34 @@ func (s *Simulator) collect() *Result {
 }
 
 // goldenWrite commits a write to the golden store and returns the new
-// version.
+// version. The golden and DRAM version stores exist purely for the
+// functional checker (checkVersion and the Audit): versions never feed
+// timing, traffic, energy or any Result field, so when the checker is off
+// the stores are bypassed entirely — saving a hash-table update on every
+// store and every write-back in the hot path. TestCheckValuesNeutral pins
+// the bit-identity of results across the two modes.
 func (s *Simulator) goldenWrite(la mem.Addr) uint64 {
+	if !s.cfg.CheckValues {
+		return 0
+	}
 	return s.golden.bump(la)
+}
+
+// dramVerSet records the version written back to DRAM (checker state only;
+// see goldenWrite).
+func (s *Simulator) dramVerSet(la mem.Addr, ver uint64) {
+	if s.cfg.CheckValues {
+		s.dramVer.set(la, ver)
+	}
+}
+
+// dramVerGet returns the version resident in DRAM (checker state only; see
+// goldenWrite).
+func (s *Simulator) dramVerGet(la mem.Addr) uint64 {
+	if !s.cfg.CheckValues {
+		return 0
+	}
+	return s.dramVer.get(la)
 }
 
 // checkVersion asserts a read observed the latest committed write.
@@ -667,6 +706,30 @@ func (q *coreQueue) push(now mem.Cycle, id int32) {
 
 // top returns the earliest core without removing it.
 func (q *coreQueue) top() int { return int(q.q[0].id) }
+
+// horizonSentinel is the +inf heap key: no core's (time, id) key ever
+// reaches it (clocks stay far below 2^64-1), so a root core compared
+// against it always stays below the horizon.
+var horizonSentinel = queuedCore{now: ^mem.Cycle(0), id: 1<<31 - 1}
+
+// horizon returns the smallest key among the non-root entries — the root
+// core's safe horizon. The heap invariant puts the second-smallest key at
+// one of the root's children, so this is two comparisons, not a scan.
+// While the root core's advancing (time, id) key stays strictly below the
+// horizon it remains the global minimum, and the engine may retire its
+// accesses with zero heap operations (see engine.go); keys are unique, so
+// strictly-below is exactly the condition under which the pop/push
+// formulation would pick the same core again.
+func (q *coreQueue) horizon() queuedCore {
+	h := horizonSentinel
+	if len(q.q) > 1 && q.q[1].less(h) {
+		h = q.q[1]
+	}
+	if len(q.q) > 2 && q.q[2].less(h) {
+		h = q.q[2]
+	}
+	return h
+}
 
 // replaceTop re-keys the root core at its advanced clock.
 func (q *coreQueue) replaceTop(now mem.Cycle, id int32) {

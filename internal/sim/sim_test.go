@@ -554,3 +554,37 @@ func TestPerCoreStats(t *testing.T) {
 		t.Fatalf("Imbalance() = %v, want > 1.2 for the skewed trace", imb)
 	}
 }
+
+// closeCountingStream records Close calls; the stream-leak regression test
+// below uses it to observe Run's error paths.
+type closeCountingStream struct {
+	closed int
+}
+
+func (s *closeCountingStream) Next() (mem.Access, bool) { return mem.Access{}, false }
+func (s *closeCountingStream) Close()                   { s.closed++ }
+
+// TestRunClosesStreamsOnArityError pins the stream-ownership contract: Run
+// closes the streams it was handed on every exit path, including the
+// stream-count validation error. Before the fix, the arity check returned
+// ahead of the deferred close, leaking the streams (and, for spilled
+// corpora, their file-descriptor refcounts).
+func TestRunClosesStreamsOnArityError(t *testing.T) {
+	cfg := sim.Default()
+	cfg.Cores = 4
+	cfg.MeshWidth = 2
+	cfg.MemControllers = 2
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []trace.Stream{&closeCountingStream{}, &closeCountingStream{}}
+	if _, err := s.Run(streams); err == nil {
+		t.Fatal("Run accepted 2 streams for 4 cores")
+	}
+	for i, st := range streams {
+		if st.(*closeCountingStream).closed == 0 {
+			t.Errorf("stream %d leaked: never closed on the arity-error path", i)
+		}
+	}
+}
