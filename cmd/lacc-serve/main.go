@@ -1,0 +1,95 @@
+// Command lacc-serve runs the experiment-serving HTTP service: the whole
+// lacc experiment surface (single runs, PCT sweeps, protocol comparisons,
+// every paper figure) behind a JSON API, on top of one process-wide
+// simulation-result cache.
+//
+// Usage:
+//
+//	lacc-serve [flags]
+//
+//	lacc-serve -addr :8080 -max-inflight 4 -max-queue 128
+//	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/run -d '{"workload":"streamcluster","cores":16,"scale":0.1}'
+//	curl -s localhost:8080/v1/experiments/pct-sweep -d '{"cores":16,"scale":0.1,"pcts":[1,2,4]}'
+//	curl -s localhost:8080/v1/stats
+//
+// See docs/API.md for the endpoint reference and DESIGN.md ("Serving
+// experiments") for the caching, coalescing and admission design.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lacc/internal/server"
+	"lacc/internal/workloads"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInflight = flag.Int("max-inflight", 2, "max concurrently executing experiment requests")
+		maxQueue    = flag.Int("max-queue", 64, "max requests waiting for an execution slot before 429")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations per experiment execution (0 = GOMAXPROCS)")
+		maxCores    = flag.Int("max-cores", 256, "largest machine size a request may ask for")
+		maxScale    = flag.Float64("max-scale", 8, "largest problem-size multiplier a request may ask for")
+		spillDir    = flag.String("corpus-spill", "", "spill materialized traces above -corpus-spill-min accesses to this directory")
+		spillMin    = flag.Uint64("corpus-spill-min", 8<<20, "minimum corpus size in accesses before spilling to -corpus-spill")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: lacc-serve [flags] (no positional arguments)")
+		os.Exit(2)
+	}
+
+	if *spillDir != "" {
+		if err := workloads.SetCorpusSpill(*spillDir, *spillMin); err != nil {
+			log.Fatalf("lacc-serve: -corpus-spill: %v", err)
+		}
+	}
+
+	h := server.New(server.Config{
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		Parallelism: *parallel,
+		MaxCores:    *maxCores,
+		MaxScale:    *maxScale,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: h,
+		// No write timeout: sweeps and SSE streams legitimately run long.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("lacc-serve: listening on %s (max-inflight %d, queue %d)", *addr, *maxInflight, *maxQueue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lacc-serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("lacc-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("lacc-serve: forced shutdown: %v", err)
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("lacc-serve: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package lacc_test
+
+// Documentation gates, run by the CI docs job:
+//
+//   - TestGodocCoverage fails when an exported symbol of the root lacc
+//     package has no doc comment, so the public surface can't silently
+//     grow undocumented.
+//   - TestMarkdownLinks fails on a relative link in README.md, DESIGN.md
+//     or docs/ whose target file (or heading anchor) doesn't exist, so
+//     the docs can't silently rot as files move.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGodocCoverage parses the root package and reports every exported
+// identifier without a godoc comment.
+func TestGodocCoverage(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["lacc"]
+	if !ok {
+		t.Fatalf("package lacc not found in . (got %v)", pkgs)
+	}
+	d := doc.New(pkg, "lacc", 0)
+	if strings.TrimSpace(d.Doc) == "" {
+		t.Error("package lacc has no package comment")
+	}
+
+	var missing []string
+	report := func(kind, name, docStr string) {
+		if ast.IsExported(name) && strings.TrimSpace(docStr) == "" {
+			missing = append(missing, fmt.Sprintf("%s %s", kind, name))
+		}
+	}
+	grouped := func(kind string, doc string, specs []string) {
+		// A const/var group is documented if the group has a comment;
+		// otherwise each exported name needs one of its own (go/doc
+		// attaches per-spec comments to the group when present).
+		if strings.TrimSpace(doc) != "" {
+			return
+		}
+		for _, n := range specs {
+			report(kind, n, "")
+		}
+	}
+	for _, f := range d.Funcs {
+		report("func", f.Name, f.Doc)
+	}
+	for _, ty := range d.Types {
+		report("type", ty.Name, ty.Doc)
+		for _, f := range ty.Funcs {
+			report("func", f.Name, f.Doc)
+		}
+		for _, m := range ty.Methods {
+			report("method", ty.Name+"."+m.Name, m.Doc)
+		}
+		for _, c := range ty.Consts {
+			grouped("const", c.Doc, c.Names)
+		}
+		for _, v := range ty.Vars {
+			grouped("var", v.Doc, v.Names)
+		}
+	}
+	for _, c := range d.Consts {
+		grouped("const", c.Doc, c.Names)
+	}
+	for _, v := range d.Vars {
+		grouped("var", v.Doc, v.Names)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported symbol: %s", m)
+	}
+}
+
+// docFiles returns the markdown files the link checker covers.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+// mdLink matches inline markdown links [text](target), skipping images.
+var mdLink = regexp.MustCompile(`[^!]\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks checks every relative link target (and heading
+// anchor) in the documentation set.
+func TestMarkdownLinks(t *testing.T) {
+	anchors := map[string]map[string]bool{} // file -> slug set
+	for _, f := range docFiles(t) {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		anchors[f] = headingSlugs(string(b))
+	}
+	for _, f := range docFiles(t) {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			file, anchor, _ := strings.Cut(target, "#")
+			resolved := f // self link
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(f), file)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", f, target, err)
+					continue
+				}
+			}
+			if anchor == "" {
+				continue
+			}
+			slugs, known := anchors[filepath.ToSlash(resolved)]
+			if !known {
+				// Anchor into a file outside the doc set (e.g. code);
+				// existence was already checked above.
+				continue
+			}
+			if !slugs[anchor] {
+				t.Errorf("%s: link %q: no heading with anchor #%s in %s", f, target, anchor, resolved)
+			}
+		}
+	}
+}
+
+// headingSlugs extracts GitHub-style anchors from markdown headings.
+func headingSlugs(src string) map[string]bool {
+	out := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			// GitHub keeps letters, digits, hyphens and underscores,
+			// maps spaces to hyphens, and strips other punctuation.
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteByte('-')
+			}
+		}
+		out[b.String()] = true
+	}
+	return out
+}

@@ -1,7 +1,11 @@
 package lacc_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"lacc"
 )
@@ -66,6 +70,58 @@ func ExampleStorageOverhead() {
 	// Limited3: 18 KB/core
 	// Complete: 192 KB/core
 	// cheaper than full-map: true
+}
+
+// ExampleNewExperimentSession shares one session across experiment
+// calls: the second identical sweep schedules no simulations at all —
+// every point is served from the session's result cache.
+func ExampleNewExperimentSession() {
+	opts := lacc.ExperimentOptions{
+		Cores:      4,
+		Scale:      0.05,
+		Benchmarks: []string{"matmul"},
+		Session:    lacc.NewExperimentSession(),
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := lacc.ExperimentPCTSweep(opts, []int{1, 2}); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	st := opts.Session.Stats()
+	fmt.Println("simulations run:", st.Misses)
+	fmt.Println("served from cache:", st.Hits)
+	// Output:
+	// simulations run: 2
+	// served from cache: 2
+}
+
+// ExampleNewServerHandler embeds the lacc-serve handler and queries it
+// the way an HTTP client would: one workload run as JSON.
+func ExampleNewServerHandler() {
+	srv := httptest.NewServer(lacc.NewServerHandler(lacc.ServeConfig{MaxInFlight: 2}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"workload":"matmul","cores":4,"scale":0.05}`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer resp.Body.Close()
+
+	var res lacc.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("status:", resp.StatusCode)
+	fmt.Println("protocol:", res.Protocol)
+	fmt.Println("completed:", res.DataAccesses > 0)
+	// Output:
+	// status: 200
+	// protocol: adaptive
+	// completed: true
 }
 
 // ExampleWorkloads lists the first benchmarks of the Table 2 catalog.

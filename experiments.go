@@ -6,7 +6,10 @@ import (
 
 // ExperimentOptions selects machine size, workload scale and benchmark
 // subset for the paper's evaluation experiments. The zero value reproduces
-// the paper's setup: 64 cores, scale 1.0, all 21 benchmarks.
+// the paper's setup: 64 cores, scale 1.0, all 21 benchmarks. Session
+// shares the simulation cache across calls, Context cancels a running
+// experiment (queued simulations are abandoned), and Progress observes
+// per-simulation completion — see experiments.Options for field details.
 type ExperimentOptions = experiments.Options
 
 // ExperimentSession carries work-avoidance state across experiment calls:

@@ -62,8 +62,8 @@ const (
 // full-map directory (p >= cores) that turns the per-access Add/Contains
 // path from an O(cores) scan into a word operation.
 type SharerSet struct {
-	ids     []int16               // insertion-ordered identified sharers, cap p
-	bits    [bitmapWords]uint64   // membership bitmap of identified ids < bitmapCores
+	ids     []int16             // insertion-ordered identified sharers, cap p
+	bits    [bitmapWords]uint64 // membership bitmap of identified ids < bitmapCores
 	unknown int32
 	p       int32
 }

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// quickOptions returns a small machine so cancellation tests finish fast.
+func quickOptions(sess *Session) Options {
+	return Options{
+		Cores:       4,
+		MeshWidth:   2,
+		Scale:       0.05,
+		Parallelism: 1,
+		Benchmarks:  []string{"matmul"},
+		Session:     sess,
+	}
+}
+
+// TestContextCancellationAbandonsQueuedJobs cancels a sweep after its first
+// simulation and asserts the worker pool abandons everything still queued:
+// the sweep reports the context error, and the session retains only the
+// simulations that actually ran (abandoned fingerprints are unpinned so a
+// later batch can claim them).
+func TestContextCancellationAbandonsQueuedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := NewSession()
+	o := quickOptions(sess)
+	o.Context = ctx
+
+	var once sync.Once
+	prev := testJobDone
+	testJobDone = func() { once.Do(cancel) }
+	defer func() { testJobDone = prev }()
+
+	pcts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := RunPCTSweep(o, pcts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunPCTSweep error = %v, want context.Canceled", err)
+	}
+	st := sess.Stats()
+	if st.Entries >= len(pcts) {
+		t.Fatalf("session kept %d entries after cancellation, want fewer than %d (queued jobs abandoned)",
+			st.Entries, len(pcts))
+	}
+
+	// The same sweep with a live context must succeed: abandoned
+	// fingerprints were unpinned, so they are re-claimed and simulated now.
+	testJobDone = prev
+	o.Context = nil
+	sw, err := RunPCTSweep(o, pcts)
+	if err != nil {
+		t.Fatalf("RunPCTSweep after cancellation: %v", err)
+	}
+	for _, pct := range pcts {
+		if sw.Results["matmul"][pct] == nil {
+			t.Fatalf("missing result for pct %d after retry", pct)
+		}
+	}
+}
+
+// TestContextAlreadyCanceled runs a sweep under a pre-canceled context: no
+// simulation may execute at all.
+func TestContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := NewSession()
+	o := quickOptions(sess)
+	o.Context = ctx
+	if _, err := RunPCTSweep(o, []int{1, 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunPCTSweep error = %v, want context.Canceled", err)
+	}
+	if st := sess.Stats(); st.Entries != 0 {
+		t.Fatalf("session has %d entries after pre-canceled run, want 0", st.Entries)
+	}
+}
+
+// TestProgressReporting asserts the Progress callback sees the batch total
+// up front and a completion call per simulation, and that a fully cached
+// batch reports a zero total.
+func TestProgressReporting(t *testing.T) {
+	sess := NewSession()
+	o := quickOptions(sess)
+
+	var mu sync.Mutex
+	type call struct{ done, total int }
+	var calls []call
+	o.Progress = func(done, total int) {
+		mu.Lock()
+		calls = append(calls, call{done, total})
+		mu.Unlock()
+	}
+
+	pcts := []int{1, 2, 3}
+	if _, err := RunPCTSweep(o, pcts); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(pcts)+1 {
+		t.Fatalf("got %d progress calls, want %d (one initial + one per simulation)", len(calls), len(pcts)+1)
+	}
+	if calls[0] != (call{0, len(pcts)}) {
+		t.Errorf("initial progress call = %+v, want {0 %d}", calls[0], len(pcts))
+	}
+	if last := calls[len(calls)-1]; last != (call{len(pcts), len(pcts)}) {
+		t.Errorf("final progress call = %+v, want {%d %d}", last, len(pcts), len(pcts))
+	}
+
+	// A repeat of the same sweep is fully served from the session cache:
+	// the batch runs zero simulations and Progress reports (0, 0).
+	calls = nil
+	if _, err := RunPCTSweep(o, pcts); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != (call{0, 0}) {
+		t.Errorf("cached-batch progress calls = %+v, want exactly [{0 0}]", calls)
+	}
+}
+
+// TestSessionStatsCountHitsAndCoalescing pins the SessionStats semantics
+// the /v1/stats endpoint exposes: first batch misses, an identical repeat
+// hits, and two concurrent batches over the same fingerprints coalesce.
+func TestSessionStatsCountHitsAndCoalescing(t *testing.T) {
+	sess := NewSession()
+	o := quickOptions(sess)
+	pcts := []int{1, 2}
+
+	if _, err := RunPCTSweep(o, pcts); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Misses != 2 || st.Hits != 0 || st.Entries != 2 {
+		t.Fatalf("after first sweep: %+v, want 2 misses, 0 hits, 2 entries", st)
+	}
+
+	if _, err := RunPCTSweep(o, pcts); err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.Misses != 2 || st.Hits != 2 {
+		t.Fatalf("after repeat sweep: %+v, want 2 misses, 2 hits", st)
+	}
+
+	// Concurrent identical sweeps over a fresh fingerprint set: whichever
+	// batch claims a fingerprint first simulates it; every other batch
+	// either coalesces on the in-flight entry or hits the finished result.
+	o2 := o
+	o2.Scale = 0.06
+	const batches = 4
+	var wg sync.WaitGroup
+	wg.Add(batches)
+	for i := 0; i < batches; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := RunPCTSweep(o2, pcts); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	prev := st
+	st = sess.Stats()
+	newMisses := st.Misses - prev.Misses
+	newShared := (st.Hits + st.Coalesced) - (prev.Hits + prev.Coalesced)
+	if newMisses != 2 {
+		t.Errorf("concurrent batches simulated %d distinct jobs, want 2", newMisses)
+	}
+	if want := uint64((batches - 1) * 2); newShared != want {
+		t.Errorf("concurrent batches shared %d claims, want %d", newShared, want)
+	}
+}

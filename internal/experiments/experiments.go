@@ -15,9 +15,16 @@
 //	Table2      — benchmark catalog
 //	Storage     — Section 3.6 storage-overhead arithmetic
 //	AckwiseComparison — ACKwise4 vs full-map baseline check (Section 5 prologue)
+//
+// Experiments are batch calls, but they are built to be served: a shared
+// Session memoizes every simulation by fingerprint and coalesces
+// concurrent identical work, Options.Context abandons queued jobs when
+// the caller goes away, and Options.Progress streams completion counts —
+// the mechanics internal/server exposes over HTTP as lacc-serve.
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -53,6 +60,34 @@ type Options struct {
 	// per session instead of once per experiment. Nil runs the experiment
 	// with a private session (dedup within the call only).
 	Session *Session
+	// Context, when non-nil, cancels the experiment: once Context is done,
+	// worker goroutines abandon every job still queued (simulations already
+	// executing run to completion — the simulator has no preemption points
+	// — but no new one starts) and the experiment returns Context's error.
+	// Abandoned fingerprints are unpinned from the session, so concurrent
+	// or later batches re-claim and run them instead of inheriting the
+	// cancellation. Nil means never canceled. lacc-serve threads each HTTP
+	// request's context through here so a disconnected client stops paying
+	// for its sweep.
+	Context context.Context
+	// Progress, when non-nil, observes the batch's simulation progress:
+	// it is called once with (0, total) when a job batch starts — total is
+	// the number of simulations the batch must actually run after session
+	// dedup, so a fully cached batch reports (0, 0) — and then with the
+	// running completion count after each simulation finishes. Completion
+	// calls are made concurrently from worker goroutines; the callback
+	// must be safe for concurrent use. Experiments that schedule several
+	// batches (PerformanceScaling runs one per core count) restart the
+	// count per batch.
+	Progress func(done, total int)
+}
+
+// ctx returns the batch's cancellation context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 func (o Options) normalize() Options {
@@ -103,6 +138,15 @@ func (o Options) baseConfig() sim.Config {
 	return cfg
 }
 
+// BaseConfig returns the normalized machine configuration jobs of this
+// Options run under, before per-experiment variant overrides (PCT,
+// protocol kind, classifier size). lacc-serve builds per-request
+// configurations through it so served jobs normalize into exactly the
+// fingerprints direct experiment calls produce.
+func (o Options) BaseConfig() sim.Config {
+	return o.normalize().baseConfig()
+}
+
 // spec returns the workload build spec for this Options.
 func (o Options) spec() workloads.Spec {
 	return workloads.Spec{Cores: o.Cores, Scale: o.Scale, Seed: o.Seed}
@@ -132,7 +176,9 @@ type workItem struct {
 }
 
 // runJobs executes all jobs with bounded parallelism and returns results
-// keyed by (bench, variant). The first simulation error aborts the batch.
+// keyed by (bench, variant). The first simulation error aborts the batch,
+// as does cancellation of Options.Context (queued jobs are abandoned; the
+// context's error is returned).
 //
 // Scheduling: jobs are first deduplicated against the session's result
 // cache — identical (bench, spec, cfg) fingerprints simulate once, within
@@ -149,6 +195,7 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 	if sess == nil {
 		sess = NewSession()
 	}
+	ctx := o.ctx()
 	spec := o.spec()
 	keyFor := func(j job) runKey {
 		return runKey{bench: j.bench, scale: spec.Scale, seed: spec.Seed, cfg: j.cfg}
@@ -169,6 +216,9 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 			work = append(work, workItem{key: k, entry: e, job: j})
 		}
 	}
+	if o.Progress != nil {
+		o.Progress(0, len(work))
+	}
 
 	if len(work) > 0 {
 		workers := o.Parallelism
@@ -184,6 +234,7 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 		}
 		close(queue)
 		var failed atomic.Bool
+		var done atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
@@ -191,7 +242,7 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 				defer wg.Done()
 				worker := sess.getSim()
 				for it := range queue {
-					if failed.Load() {
+					if failed.Load() || ctx.Err() != nil {
 						it.entry.err = errAborted
 					} else {
 						it.entry.res, it.entry.err = o.runOne(&worker, it.job)
@@ -208,6 +259,9 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 					close(it.entry.ready)
 					if h := testJobDone; h != nil {
 						h()
+					}
+					if o.Progress != nil {
+						o.Progress(int(done.Add(1)), len(work))
 					}
 				}
 				if worker != nil {
@@ -230,11 +284,18 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 	for _, j := range jobs {
 		k := keyFor(j)
 		e := entries[k]
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			// The entry is owned by another batch still simulating; a
+			// canceled caller stops waiting for it (the owner will publish
+			// the result into the session for everyone else).
+			return nil, ctx.Err()
+		}
 		// An abort from a DIFFERENT batch (its failure, not ours) must not
 		// poison this batch: the aborting worker unpinned the key, so
 		// re-claim and run it here, serially — this path is rare.
-		for errors.Is(e.err, errAborted) && !claimed[k] {
+		for errors.Is(e.err, errAborted) && !claimed[k] && ctx.Err() == nil {
 			ne, own := sess.claim(k)
 			if own {
 				worker := sess.getSim()
@@ -248,7 +309,11 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 				close(ne.ready)
 				claimed[k] = true
 			}
-			<-ne.ready
+			select {
+			case <-ne.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 			e = ne
 			entries[k] = e
 		}
@@ -267,6 +332,11 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 		m[j.variant] = e.res
 	}
 	if firstErr != nil {
+		// A batch aborted by cancellation reports the context's error, not
+		// the internal abort marker its entries carry.
+		if err := ctx.Err(); err != nil && errors.Is(firstErr, errAborted) {
+			return nil, err
+		}
 		// Failed and aborted keys were already unpinned by the workers, so
 		// a later attempt retries them instead of replaying the error.
 		return nil, firstErr

@@ -70,12 +70,16 @@ type PerformanceScalingResult struct {
 	Energy     map[int]float64
 }
 
+// DefaultScalingCores is the machine-size series PerformanceScaling runs
+// when no explicit core counts are given.
+var DefaultScalingCores = []int{16, 36, 64}
+
 // PerformanceScaling runs baseline and adaptive configurations at each core
 // count. Mesh width is the largest divisor <= sqrt(cores).
 func PerformanceScaling(o Options, coreCounts []int) (*PerformanceScalingResult, error) {
 	o = o.normalize()
 	if len(coreCounts) == 0 {
-		coreCounts = []int{16, 36, 64}
+		coreCounts = DefaultScalingCores
 	}
 	out := &PerformanceScalingResult{
 		CoreCounts: coreCounts,

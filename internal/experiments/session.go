@@ -41,11 +41,49 @@ type runEntry struct {
 type Session struct {
 	mu   sync.Mutex
 	runs map[runKey]*runEntry
+
+	// Cache-effectiveness counters (see SessionStats).
+	hits      uint64
+	coalesced uint64
+	misses    uint64
 }
 
 // NewSession returns an empty session.
 func NewSession() *Session {
 	return &Session{runs: map[runKey]*runEntry{}}
+}
+
+// SessionStats is a snapshot of a session's cache-effectiveness counters.
+// All counts are claims, i.e. distinct fingerprints a batch resolved
+// through the session (duplicates within one batch are folded before the
+// session is consulted, so they appear in none of the counters).
+type SessionStats struct {
+	// Hits counts claims satisfied by an already-completed memoized result
+	// (the sweep was served from the cache).
+	Hits uint64 `json:"hits"`
+	// Coalesced counts claims that joined a simulation still in flight:
+	// two concurrent batches asked for the same fingerprint and the second
+	// waited for the first instead of simulating again (single-flight).
+	Coalesced uint64 `json:"coalesced"`
+	// Misses counts claims that created a new entry, i.e. simulations this
+	// session actually scheduled. Failed or abandoned runs are unpinned
+	// and re-claimed on retry, so a fingerprint can miss more than once.
+	Misses uint64 `json:"misses"`
+	// Entries is the number of results currently memoized (in flight or
+	// complete).
+	Entries int `json:"entries"`
+}
+
+// Stats returns a consistent snapshot of the session's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{
+		Hits:      s.hits,
+		Coalesced: s.coalesced,
+		Misses:    s.misses,
+		Entries:   len(s.runs),
+	}
 }
 
 // simPool recycles Simulators across jobs, sessions and experiment calls.
@@ -65,8 +103,15 @@ func (s *Session) claim(k runKey) (e *runEntry, claimed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.runs[k]; ok {
+		select {
+		case <-e.ready:
+			s.hits++
+		default:
+			s.coalesced++
+		}
 		return e, false
 	}
+	s.misses++
 	e = &runEntry{ready: make(chan struct{})}
 	s.runs[k] = e
 	return e, true

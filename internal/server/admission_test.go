@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAcquireEnforcesQueueBound pins the admission state machine
+// deterministically: with every execution slot held and the wait queue
+// full, the next acquire is rejected with 429 immediately; once a slot
+// frees, a queued waiter gets it.
+func TestAcquireEnforcesQueueBound(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, MaxQueue: 1})
+	ctx := context.Background()
+
+	// Fill both slots.
+	for i := 0; i < 2; i++ {
+		if err := s.acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := s.stats.inFlight.Load(); got != 2 {
+		t.Fatalf("inFlight = %d, want 2", got)
+	}
+
+	// One waiter fits in the queue.
+	waiterIn := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		waiterIn <- s.acquire(ctx)
+	}()
+	// Wait until the waiter is queued so the next acquire sees a full
+	// queue deterministically.
+	for s.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: the next request is rejected, not enqueued.
+	err := s.acquire(ctx)
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.status != http.StatusTooManyRequests {
+		t.Fatalf("acquire with full queue = %v, want 429 apiError", err)
+	}
+	if got := s.stats.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+
+	// Freeing a slot admits the queued waiter.
+	s.release()
+	if err := <-waiterIn; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	wg.Wait()
+	if got := s.queued.Load(); got != 0 {
+		t.Errorf("queued = %d after admission, want 0", got)
+	}
+	if got := s.stats.peakInFlight.Load(); got != 2 {
+		t.Errorf("peakInFlight = %d, want 2 (bound never exceeded)", got)
+	}
+
+	// Refill the queue with a cancelable waiter so the server is fully
+	// saturated again (both slots held, queue full).
+	cctx, cancel := context.WithCancel(context.Background())
+	werr := make(chan error, 1)
+	go func() { werr <- s.acquire(cctx) }()
+	for s.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A saturated server answers an SSE request with a plain 429 before
+	// any stream is opened (admission precedes the response status).
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/run?stream=sse",
+		strings.NewReader(`{"workload":"matmul"}`))
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("SSE request on saturated server: status %d, want 429 (body %q)", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("SSE 429 Content-Type = %q, want application/json", ct)
+	}
+
+	// A canceled waiter leaves the queue without a slot.
+	cancel()
+	if err := <-werr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v, want context.Canceled", err)
+	}
+	s.release()
+	s.release()
+	if got := s.stats.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight = %d after releases, want 0", got)
+	}
+}

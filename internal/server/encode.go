@@ -1,0 +1,26 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// EncodeCanonical returns the canonical JSON encoding every service
+// response uses: encoding/json (struct fields in declaration order, map
+// keys sorted — the package guarantee that makes the encoding
+// deterministic), HTML escaping off, no indentation, one trailing
+// newline.
+//
+// Canonical means reproducible: the same result value always encodes to
+// the same bytes, so TestServedMatchesDirect can assert a served response
+// is byte-identical to the direct library call's result pushed through
+// this same function, and coalesced requests can share one encoded body.
+func EncodeCanonical(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,299 @@
+// Package server implements lacc-serve: a long-running HTTP/JSON service
+// exposing the whole experiment surface of the lacc library on top of one
+// process-wide experiments.Session.
+//
+// The paper's central results are sweep-shaped comparisons — PCT sweeps,
+// adaptive vs. full-map MESI vs. Dragon — which is exactly the query
+// pattern a long-lived, cache-backed service answers orders of magnitude
+// faster than repeated batch invocations: every CLI run pays full corpus
+// generation and simulator warm-up, while the service shares both across
+// all callers and memoizes every simulation result by its (benchmark,
+// scale, seed, configuration) fingerprint.
+//
+// Three mechanisms shape the service (see DESIGN.md, "Serving
+// experiments", and docs/API.md for the endpoint reference):
+//
+//   - Result caching. All requests run through one experiments.Session,
+//     so a simulation executes at most once per server lifetime no matter
+//     how many requests, sweeps or figure variants need it.
+//   - Single-flight coalescing. Concurrent identical requests collapse
+//     into one execution at two levels: byte-identical request bodies
+//     share one handler execution (and one encoded response), and
+//     distinct requests whose sweeps overlap share the in-flight
+//     simulations themselves through the session.
+//   - Bounded admission. At most MaxInFlight experiment executions run
+//     concurrently; up to MaxQueue more wait their turn, and everything
+//     beyond that is rejected immediately with 429 so overload degrades
+//     predictably instead of collapsing the process.
+//
+// Request contexts propagate all the way into the experiment worker pool:
+// when a client disconnects, the simulations still queued for its request
+// are abandoned (in-flight ones complete into the shared cache). A
+// request coalesced across several clients is canceled only when the last
+// interested client disconnects.
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lacc/internal/experiments"
+)
+
+// Config parameterizes the service. The zero value serves with sensible
+// defaults: a fresh session, GOMAXPROCS simulation parallelism, 2
+// concurrent experiment executions, a 64-deep admission queue and the
+// validation caps of defaultMaxCores/defaultMaxScale.
+type Config struct {
+	// Session is the process-wide result cache and simulator pool every
+	// request runs through. Nil creates a fresh one.
+	Session *experiments.Session
+
+	// MaxInFlight bounds concurrently executing experiment requests (each
+	// of which runs up to Parallelism simulations). <= 0 means 2.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; a request
+	// arriving with the queue full is rejected with 429 Too Many Requests.
+	// <= 0 means 64.
+	MaxQueue int
+	// Parallelism bounds concurrent simulations per experiment execution
+	// (experiments.Options.Parallelism). <= 0 means GOMAXPROCS.
+	Parallelism int
+
+	// MaxCores caps the per-request machine size accepted by validation
+	// (simulation memory grows with cores). <= 0 means 256.
+	MaxCores int
+	// MaxScale caps the per-request problem-size multiplier (trace length
+	// and corpus memory grow with scale). <= 0 means 8.
+	MaxScale float64
+}
+
+// Defaults for the zero Config.
+const (
+	defaultMaxInFlight = 2
+	defaultMaxQueue    = 64
+	defaultMaxCores    = 256
+	defaultMaxScale    = 8.0
+)
+
+// normalize applies the documented defaults.
+func (c Config) normalize() Config {
+	if c.Session == nil {
+		c.Session = experiments.NewSession()
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = defaultMaxInFlight
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = defaultMaxQueue
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxCores <= 0 {
+		c.MaxCores = defaultMaxCores
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = defaultMaxScale
+	}
+	return c
+}
+
+// Server is the lacc-serve HTTP handler. Construct with New; a Server is
+// safe for concurrent use and serves until its process exits (it holds no
+// resources needing explicit shutdown beyond the http.Server wrapping it).
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// session is swapped atomically by the admin flush endpoint; batches
+	// in flight keep the session they started with.
+	session atomic.Pointer[experiments.Session]
+
+	// sem holds one token per concurrently executing experiment request
+	// (admission control); queued counts requests waiting for a token.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// single coalesces byte-identical in-flight request bodies.
+	single singleflight
+
+	stats serverStats
+}
+
+// serverStats aggregates the monotonic counters behind /v1/stats.
+type serverStats struct {
+	requests      atomic.Uint64 // API requests routed to a handler
+	rejected      atomic.Uint64 // 429 admission rejections
+	errors        atomic.Uint64 // 4xx/5xx responses other than 429
+	coalesced     atomic.Uint64 // requests joined onto an identical in-flight one
+	executed      atomic.Uint64 // experiment executions actually performed
+	inFlight      atomic.Int64  // executions holding an admission token now
+	peakInFlight  atomic.Int64  // high-water mark of inFlight
+	flushes       atomic.Uint64 // admin cache flushes
+	sseStreams    atomic.Uint64 // progress streams served
+	canceledByCtx atomic.Uint64 // executions abandoned by client disconnect
+}
+
+// New builds the service handler for cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.session.Store(cfg.Session)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errBusy is returned by acquire when the admission queue is full.
+var errBusy = &apiError{status: http.StatusTooManyRequests,
+	msg: "server saturated: all execution slots busy and the admission queue is full"}
+
+// acquire blocks until the request may execute (an admission token is
+// free), the admission queue overflows (errBusy) or ctx is canceled. The
+// caller must release() after the execution when acquire returns nil.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.noteInFlight()
+		return nil
+	default:
+	}
+	// No free slot: join the bounded wait queue. The CAS loop keeps the
+	// queued gauge within MaxQueue at every instant — /v1/stats documents
+	// queued <= max_queue as an invariant — rejecting arrivals that find
+	// the queue full.
+	for {
+		n := s.queued.Load()
+		if n >= int64(s.cfg.MaxQueue) {
+			s.stats.rejected.Add(1)
+			return errBusy
+		}
+		if s.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.noteInFlight()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// noteInFlight bumps the in-flight gauge and its high-water mark.
+func (s *Server) noteInFlight() {
+	n := s.stats.inFlight.Add(1)
+	for {
+		peak := s.stats.peakInFlight.Load()
+		if n <= peak || s.stats.peakInFlight.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// release returns an admission token.
+func (s *Server) release() {
+	s.stats.inFlight.Add(-1)
+	<-s.sem
+}
+
+// options assembles the experiment options for one execution: the shared
+// session, the server's parallelism bound and the execution's context.
+func (s *Server) options(ctx context.Context) experiments.Options {
+	return experiments.Options{
+		Parallelism: s.cfg.Parallelism,
+		Session:     s.session.Load(),
+		Context:     ctx,
+	}
+}
+
+// singleflight coalesces concurrent executions keyed by the canonical
+// request body: the first request (the leader) executes and every
+// byte-identical concurrent request waits for — and shares — its encoded
+// response. The call's execution context is detached from any one client
+// and canceled only when every joined client has disconnected, so a
+// leader's disconnect never kills the work for the others.
+//
+// Entries live only while in flight: once the leader completes, the key is
+// forgotten, and later identical requests re-execute (cheaply — their
+// simulations hit the session cache).
+type singleflight struct {
+	mu    sync.Mutex
+	calls map[string]*sfCall
+}
+
+// sfCall is one in-flight coalesced execution.
+type sfCall struct {
+	done   chan struct{}      // closed once resp/err are final
+	cancel context.CancelFunc // cancels the execution context
+	refs   int                // joined clients still interested
+	dead   bool               // every client left; the execution is doomed
+
+	resp *response
+	err  error
+}
+
+// join returns the in-flight call for key, or creates one (leading=true)
+// whose execution context is the returned ctx. Either way the caller is
+// counted as interested until leave. A dead call — every earlier client
+// disconnected, so its execution is unwinding with a cancellation it
+// would be wrong for a fresh client to inherit — is replaced, not
+// joined.
+func (sf *singleflight) join(key string) (c *sfCall, ctx context.Context, leading bool) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if c, ok := sf.calls[key]; ok && !c.dead {
+		c.refs++
+		return c, nil, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c = &sfCall{done: make(chan struct{}), cancel: cancel, refs: 1}
+	if sf.calls == nil {
+		sf.calls = map[string]*sfCall{}
+	}
+	sf.calls[key] = c
+	return c, ctx, true
+}
+
+// leave drops one interested client; the last one out marks the call
+// dead and cancels the execution.
+func (sf *singleflight) leave(c *sfCall) {
+	sf.mu.Lock()
+	c.refs--
+	last := c.refs == 0
+	if last {
+		c.dead = true
+	}
+	sf.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// finish publishes the result and retires the key so future requests
+// re-execute against the (now warm) session cache. A dead call may have
+// been replaced under its key already; only the current occupant is
+// removed.
+func (sf *singleflight) finish(key string, c *sfCall, resp *response, err error) {
+	sf.mu.Lock()
+	if sf.calls[key] == c {
+		delete(sf.calls, key)
+	}
+	sf.mu.Unlock()
+	c.resp, c.err = resp, err
+	close(c.done)
+}

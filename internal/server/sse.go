@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Server-sent-events progress streaming for long sweeps. A client that
+// asks for an experiment with Accept: text/event-stream (or ?stream=sse)
+// receives, instead of one JSON body at the end:
+//
+//	event: progress
+//	data: {"done":0,"total":168}
+//	...
+//	event: result
+//	data: {...the same canonical JSON object...}
+//
+// with one progress event per completed simulation, and a terminal
+// "result" event (or an "error" event carrying {"error": "..."}). The
+// progress total is the number of simulations the request actually runs
+// after the session cache is consulted, so a fully cached sweep streams
+// {"done":0,"total":0} straight into its result.
+//
+// SSE requests are admitted like any other execution but bypass
+// request-level coalescing (each stream observes its own progress);
+// their simulations still coalesce with all concurrent work through the
+// session.
+
+// wantsSSE reports whether the request asked for a progress stream.
+func wantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "sse" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// sseWriter serializes event emission onto one response stream; the
+// experiment layer invokes progress callbacks from concurrent worker
+// goroutines.
+type sseWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	f  http.Flusher
+
+	// Progress high-water mark, so concurrently delivered completion
+	// callbacks (worker A increments to 4, worker B to 5, B reaches the
+	// writer first) never emit a stream that jumps backwards. A change of
+	// total starts a new batch and resets the mark.
+	lastDone  int
+	lastTotal int
+	haveProg  bool
+}
+
+// event emits one named event with a JSON payload.
+func (sw *sseWriter) event(name string, payload any) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.emit(name, payload)
+}
+
+// emit writes one event; callers hold mu.
+func (sw *sseWriter) emit(name string, payload any) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, body)
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+}
+
+// progress emits a monotone progress event, dropping reordered stale
+// completions.
+func (sw *sseWriter) progress(done, total int) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.haveProg && total == sw.lastTotal && done <= sw.lastDone {
+		return
+	}
+	sw.haveProg = true
+	sw.lastDone, sw.lastTotal = done, total
+	sw.emit("progress", sseProgress{Done: done, Total: total})
+}
+
+// sseProgress is the payload of one progress event.
+type sseProgress struct {
+	// Done counts finished simulations of this request's current batch;
+	// Total is the batch's simulation count after cache dedup.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// serveSSE runs one experiment while streaming progress events, ending
+// with a result or error event. Admission happens before the response
+// status is committed, so a saturated server still answers 429 (and a
+// disconnected client waiting in the queue just goes away); only
+// failures after admission arrive as error events on the 200 stream.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, q *Request, exec execFunc) {
+	if err := s.acquire(r.Context()); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	sw := &sseWriter{w: w, f: flusher}
+	s.stats.sseStreams.Add(1)
+
+	progress := sw.progress
+	resp, err := s.executeAdmitted(r.Context(), q, exec, "", progress)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to report
+		}
+		s.stats.errors.Add(1)
+		sw.event("error", map[string]string{"error": err.Error()})
+		return
+	}
+	// The result event carries the identical canonical JSON object a
+	// plain request would have received as its body.
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	fmt.Fprintf(w, "event: result\ndata: %s\n\n", compactLine(resp.body))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// compactLine strips the canonical encoding's trailing newline so the
+// JSON object stays on one SSE data line (canonical JSON contains no
+// interior newlines).
+func compactLine(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == '\n' {
+		b = b[:len(b)-1]
+	}
+	return b
+}

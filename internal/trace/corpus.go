@@ -230,12 +230,13 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 }
 
 // BuildSpilledCorpus runs each generator once, streaming its output to
-// path in the binary trace format, and returns the on-disk handle. Unlike
-// BuildCorpus+Spill, peak memory is one core's access sequence (plus the
-// chunk buffer) rather than the whole trace: each core is buffered only
-// long enough to learn its record count (the format prefixes every stream
-// with it), encoded, and released. This is the builder for Scale values
-// whose full trace would not fit in memory.
+// path in the binary trace format (specified in docs/TRACE_FORMAT.md),
+// and returns the on-disk handle. Unlike BuildCorpus+Spill, peak memory
+// is one core's access sequence (plus the chunk buffer) rather than the
+// whole trace: each core is buffered only long enough to learn its record
+// count (the format prefixes every stream with it), encoded, and
+// released. This is the builder for Scale values whose full trace would
+// not fit in memory.
 func BuildSpilledCorpus(gens []GenFunc, path string) (*SpilledCorpus, error) {
 	f, err := os.Create(path)
 	if err != nil {

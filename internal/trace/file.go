@@ -13,9 +13,10 @@ import (
 // Binary trace file format. A file stores the access streams of all cores
 // of one run so that simulations can be replayed without re-running the
 // workload kernels, compared across protocol configurations, or inspected
-// offline.
+// offline. The same encoding backs spilled corpora (BuildSpilledCorpus),
+// which add an in-memory per-core offset index over the stream sections.
 //
-// Layout (all integers little-endian or uvarint):
+// Layout (uvarint = unsigned LEB128 base-128 varint):
 //
 //	header:  magic "LACCTRC1" | uvarint cores
 //	stream:  uvarint count | count * record, repeated cores times in order
@@ -24,6 +25,10 @@ import (
 // Addresses are delta-encoded (zigzag) per stream: workload traces walk
 // arrays, so deltas are small and the format compresses 10-byte records to
 // 2-3 bytes on typical kernels.
+//
+// docs/TRACE_FORMAT.md is the normative specification (field meanings,
+// decoder validation rules, versioning policy); keep it in sync with any
+// change here.
 
 // Magic identifies trace files (version 1).
 const Magic = "LACCTRC1"

@@ -84,10 +84,10 @@ func TestReadFileMalformedRecords(t *testing.T) {
 
 	cases := map[string][]byte{
 		// Truncate a valid file at every byte boundary inside the records.
-		"kind only":     append(append([]byte{}, []byte(Magic)...), 0x01, 0x02, byte(mem.Read)),
-		"missing addr":  append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Read), 0x03),
-		"kind too big":  append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Unlock) + 1, 0x00, 0x00),
-		"gap overflows": append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Read), 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f, 0x00),
+		"kind only":             append(append([]byte{}, []byte(Magic)...), 0x01, 0x02, byte(mem.Read)),
+		"missing addr":          append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Read), 0x03),
+		"kind too big":          append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Unlock)+1, 0x00, 0x00),
+		"gap overflows":         append(append([]byte{}, []byte(Magic)...), 0x01, 0x01, byte(mem.Read), 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f, 0x00),
 		"count without records": append(append([]byte{}, []byte(Magic)...), 0x01, 0x7f),
 	}
 	for i := len(Magic) + 1; i < len(full); i += 3 {

@@ -29,7 +29,10 @@
 //	res, err := lacc.Run(cfg, lacc.NewStreams(gens))
 //
 // The experiments behind every figure and table of the paper's evaluation
-// are available through the Experiment* functions and the lacc-bench tool.
+// are available through the Experiment* functions and the lacc-bench tool,
+// and as a long-running HTTP service (lacc-serve, or NewServerHandler for
+// embedding) that caches and coalesces simulations across callers; see
+// docs/API.md.
 package lacc
 
 import (

@@ -1,0 +1,36 @@
+package lacc
+
+import (
+	"net/http"
+
+	"lacc/internal/experiments"
+	"lacc/internal/server"
+)
+
+// ServeConfig configures the embedded experiment-serving handler: the
+// shared session, the admission bounds (max in-flight executions + queue
+// depth, 429 beyond), per-execution simulation parallelism and the
+// validation caps on requested machine size and problem scale. The zero
+// value uses the documented defaults.
+type ServeConfig = server.Config
+
+// ServeStats is the /v1/stats response schema: request, coalescing and
+// admission counters plus the session's cache effectiveness.
+type ServeStats = server.Stats
+
+// ExperimentSessionStats is a snapshot of an ExperimentSession's cache
+// counters: memoized-result hits, in-flight coalescing and simulations
+// actually scheduled.
+type ExperimentSessionStats = experiments.SessionStats
+
+// NewServerHandler returns the lacc-serve HTTP handler: the whole
+// experiment surface (/v1/run, /v1/experiments/*, /v1/workloads,
+// /v1/healthz, /v1/stats) served from one process-wide
+// ExperimentSession, with single-flight coalescing of identical
+// concurrent requests, bounded admission and SSE progress streams. The
+// lacc-serve command wraps exactly this handler; embed it to serve
+// experiments from your own process. See docs/API.md for the endpoint
+// reference.
+func NewServerHandler(cfg ServeConfig) http.Handler {
+	return server.New(cfg)
+}
