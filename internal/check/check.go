@@ -1,0 +1,305 @@
+// Package check is a bounded explicit-state model checker for the
+// simulator's coherence protocols. The golden table and Simulator.Audit
+// verify executions; check verifies state spaces: it drives a Protocol
+// implementation through every interleaving of a small access alphabet
+// (each core reading and writing each of a few lines) by breadth-first
+// search, and at every reachable state asserts
+//
+//   - SWMR: at most one writable (E/M) private copy exists, and never
+//     alongside any other copy;
+//   - the data-value invariant: every readable copy carries the latest
+//     committed version — L1 copies and VR replicas always, the home L2
+//     line whenever the directory is Uncached or Shared (Exclusive is
+//     exempt: a silent E→M upgrade leaves the home stale by design), and
+//     DRAM whenever the line is entirely off chip;
+//   - directory/cache structural agreement, via Simulator.Audit.
+//
+// Visited states are deduplicated by a canonical encoding (encode.go)
+// that captures exactly the state the protocol's future behavior depends
+// on, so the reachable graph is finite and the search exhausts it.
+//
+// A violation is reported with its interleaving and re-encoded as a
+// trace-format program (trace.go) whose replay through sim.Run executes
+// exactly that interleaving — every checker counterexample is
+// immediately a failing execution-level regression test.
+package check
+
+import (
+	"fmt"
+
+	"lacc/internal/mem"
+	"lacc/internal/sim"
+)
+
+// Action is one checker-scheduled access: Core performs Kind at Addr.
+type Action struct {
+	Core int
+	Kind mem.AccessKind
+	Addr mem.Addr
+}
+
+// String renders the action compactly ("c1 W 0x100040").
+func (a Action) String() string {
+	k := "R"
+	if a.Kind == mem.Write {
+		k = "W"
+	}
+	return fmt.Sprintf("c%d %s %#x", a.Core, k, a.Addr)
+}
+
+// Options configure a bounded run.
+type Options struct {
+	// Config is the machine under test; Bound builds the standard small
+	// model. CheckValues must be on (the data-value invariant reads the
+	// golden store) and Protocol.UseTimestamp off (timestamp-driven
+	// classification depends on clock values, which the canonical
+	// encoding deliberately omits).
+	Config sim.Config
+
+	// Faults seeds protocol defects; the self-test mode proves the
+	// checker finds them. Zero for real verification runs.
+	Faults sim.Faults
+
+	// Lines is the data-line alphabet; nil selects two consecutive lines
+	// of one page. The count must stay below the L1 associativity:
+	// capacity evictions would make LRU order — omitted from the
+	// encoding — behaviorally relevant.
+	Lines []mem.Addr
+
+	// MaxDepth bounds the interleaving length (default 12); MaxStates
+	// bounds the visited set (default 1<<18). Hitting either marks the
+	// report truncated.
+	MaxDepth  int
+	MaxStates int
+}
+
+// Report summarizes one bounded run.
+type Report struct {
+	Protocol    string
+	States      int  // distinct canonical states visited
+	Transitions int  // (state, action) pairs explored
+	Depth       int  // longest interleaving explored
+	Truncated   bool // a bound was hit before the graph closed
+	Violation   *Violation
+}
+
+// Violation is one invariant failure with its reproduction path.
+type Violation struct {
+	Kind   string // "swmr", "data-value", "audit" or "panic"
+	Detail string
+	Path   []Action
+
+	// Trace is the counterexample as per-core trace-format streams
+	// (append a probe read after Path for data-value violations so the
+	// stale value is observed): replaying them through sim.Run executes
+	// exactly the violating interleaving.
+	Trace [][]mem.Access
+
+	// ReplayFailure is the failure Trace produced when replayed through
+	// a simulator carrying the same faults (error text or recovered
+	// panic). Empty means the replay unexpectedly ran clean.
+	ReplayFailure string
+}
+
+// Bound returns the standard small-model configuration for kind: cores
+// tiles in a cores×1 mesh with one memory controller, value checking on,
+// utilization histograms off and the timestamp classifier variant
+// disabled. ackwisePointers > 0 overrides the directory pointer count
+// (1 forces the ACKwise overflow/broadcast paths at 2+ sharers); <= 0
+// keeps the default, which is full-map at these core counts.
+func Bound(kind sim.ProtocolKind, cores, ackwisePointers int) sim.Config {
+	cfg := sim.Default()
+	cfg.Cores = cores
+	cfg.MeshWidth = cores
+	cfg.MemControllers = 1
+	cfg.ProtocolKind = kind
+	if ackwisePointers > 0 {
+		cfg.AckwisePointers = ackwisePointers
+	}
+	cfg.CheckValues = true
+	cfg.TrackUtilization = false
+	cfg.Protocol.UseTimestamp = false
+	cfg.CodeLines = 4
+	return cfg
+}
+
+func defaultLines() []mem.Addr { return []mem.Addr{0x100000, 0x100040} }
+
+// finding is an invariant failure before it is packaged as a Violation.
+// probe, when set, is a follow-up read that observes the stale value, so
+// the counterexample trace also fails the simulator's inline checkVersion
+// rather than only the end-of-run audit.
+type finding struct {
+	kind   string
+	detail string
+	probe  *Action
+}
+
+// runner holds the per-run exploration state.
+type runner struct {
+	m       *sim.Machine
+	lines   []mem.Addr
+	actions []Action
+	cores   int
+	satCap  int // counter saturation bound for the canonical encoding
+}
+
+// Run explores the bounded state graph and returns the report; a found
+// violation stops the search.
+func Run(opts Options) (*Report, error) {
+	cfg := opts.Config
+	if !cfg.CheckValues {
+		return nil, fmt.Errorf("check: CheckValues must be enabled (the data-value invariant reads the golden store)")
+	}
+	if cfg.Protocol.UseTimestamp {
+		return nil, fmt.Errorf("check: UseTimestamp classification is time-dependent; the canonical state encoding cannot capture it")
+	}
+	lines := opts.Lines
+	if len(lines) == 0 {
+		lines = defaultLines()
+	}
+	if len(lines) >= cfg.L1DWays {
+		return nil, fmt.Errorf("check: %d lines with %d-way L1-D caches risks capacity evictions, which the encoding does not model", len(lines), cfg.L1DWays)
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 18
+	}
+
+	m, err := sim.NewMachineWithFaults(cfg, opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	var actions []Action
+	for c := 0; c < cfg.Cores; c++ {
+		for _, a := range lines {
+			la := mem.LineOf(a)
+			actions = append(actions,
+				Action{Core: c, Kind: mem.Read, Addr: la},
+				Action{Core: c, Kind: mem.Write, Addr: la})
+		}
+	}
+	if len(actions) > 255 {
+		return nil, fmt.Errorf("check: alphabet of %d actions exceeds the path encoding", len(actions))
+	}
+	satCap := cfg.Protocol.RATMax
+	if cfg.Protocol.PCT > satCap {
+		satCap = cfg.Protocol.PCT
+	}
+	r := &runner{m: m, lines: lines, actions: actions, cores: cfg.Cores, satCap: satCap}
+	rep := &Report{Protocol: m.Protocol()}
+
+	snap := m.Snapshot(lines)
+	if f := r.findViolation(snap); f != nil {
+		// The initial state cannot violate anything; a failure here is a
+		// checker bug, not a protocol bug.
+		return nil, fmt.Errorf("check: initial state invalid: %s", f.detail)
+	}
+	visited := map[string]struct{}{r.encode(snap): {}}
+	queue := [][]uint8{nil}
+	for head := 0; head < len(queue); head++ {
+		path := queue[head]
+		if len(path) > rep.Depth {
+			rep.Depth = len(path)
+		}
+		if len(path) >= maxDepth {
+			rep.Truncated = true
+			continue
+		}
+		for ai := range actions {
+			if len(visited) >= maxStates {
+				rep.Truncated = true
+				rep.States = len(visited)
+				return rep, nil
+			}
+			full := append(append(make([]uint8, 0, len(path)+1), path...), uint8(ai))
+			fd, enc, err := r.explore(full)
+			if err != nil {
+				return nil, err
+			}
+			rep.Transitions++
+			if fd != nil {
+				v, verr := r.violation(cfg, opts.Faults, full, fd)
+				if verr != nil {
+					return nil, verr
+				}
+				rep.Violation = v
+				rep.States = len(visited)
+				if len(full) > rep.Depth {
+					rep.Depth = len(full)
+				}
+				return rep, nil
+			}
+			if _, ok := visited[enc]; !ok {
+				visited[enc] = struct{}{}
+				queue = append(queue, full)
+			}
+		}
+	}
+	rep.States = len(visited)
+	return rep, nil
+}
+
+// explore replays path on a reset machine and checks every invariant at
+// its final state. The returned encoding is empty when a finding is.
+// Only the last step may legitimately fail: every prefix was itself an
+// explored, violation-free state.
+func (r *runner) explore(path []uint8) (*finding, string, error) {
+	if err := r.m.Reset(); err != nil {
+		return nil, "", err
+	}
+	for i, ai := range path[:len(path)-1] {
+		if msg := r.step(r.actions[ai]); msg != "" {
+			return nil, "", fmt.Errorf("check: visited prefix re-panicked at step %d: %s", i, msg)
+		}
+	}
+	if msg := r.step(r.actions[path[len(path)-1]]); msg != "" {
+		return &finding{kind: "panic", detail: msg}, "", nil
+	}
+	snap := r.m.Snapshot(r.lines)
+	if fd := r.findViolation(snap); fd != nil {
+		return fd, "", nil
+	}
+	if err := r.m.Audit(); err != nil {
+		return &finding{kind: "audit", detail: err.Error()}, "", nil
+	}
+	return nil, r.encode(snap), nil
+}
+
+// step executes one access, converting a simulator panic (checkVersion,
+// protocol-state assertions) into a finding instead of crashing the
+// search.
+func (r *runner) step(a Action) (panicMsg string) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicMsg = fmt.Sprint(p)
+		}
+	}()
+	r.m.Step(a.Core, a.Kind, a.Addr, 0)
+	return ""
+}
+
+// violation packages a finding: the decoded path, the counterexample
+// trace (with the probe read appended when one exists) and the outcome of
+// replaying it.
+func (r *runner) violation(cfg sim.Config, f sim.Faults, path []uint8, fd *finding) (*Violation, error) {
+	v := &Violation{Kind: fd.kind, Detail: fd.detail}
+	for _, ai := range path {
+		v.Path = append(v.Path, r.actions[ai])
+	}
+	trPath := v.Path
+	if fd.probe != nil {
+		trPath = append(append(make([]Action, 0, len(v.Path)+1), v.Path...), *fd.probe)
+	}
+	tr, err := Counterexample(cfg, f, trPath)
+	if err != nil {
+		return nil, fmt.Errorf("%w (path %v)", err, trPath)
+	}
+	v.Trace = tr
+	v.ReplayFailure = Replay(cfg, f, tr)
+	return v, nil
+}

@@ -1,0 +1,191 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lacc/internal/mem"
+	"lacc/internal/sim"
+	"lacc/internal/trace"
+)
+
+// shallow returns fast bounded options for kind: deep exhaustive runs are
+// lacc-check's job (CI tier); tests keep the suite quick.
+func shallow(kind sim.ProtocolKind, ackwise int) Options {
+	return Options{
+		Config:    Bound(kind, 2, ackwise),
+		MaxDepth:  5,
+		MaxStates: 1 << 14,
+	}
+}
+
+// TestHealthyProtocolsBounded: no registered protocol violates SWMR or
+// the data-value invariant within the shallow bound.
+func TestHealthyProtocolsBounded(t *testing.T) {
+	variants := []struct {
+		name    string
+		kind    sim.ProtocolKind
+		ackwise int
+	}{
+		{"adaptive", sim.ProtocolAdaptive, 0},
+		{"adaptive-ackwise1", sim.ProtocolAdaptive, 1},
+		{"mesi", sim.ProtocolMESI, 0},
+		{"dragon", sim.ProtocolDragon, 0},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			rep, err := Run(shallow(v.kind, v.ackwise))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violation != nil {
+				t.Fatalf("unexpected %s violation: %s\npath: %v",
+					rep.Violation.Kind, rep.Violation.Detail, rep.Violation.Path)
+			}
+			if rep.States < 10 {
+				t.Fatalf("suspiciously small state space: %d states", rep.States)
+			}
+			t.Logf("%s: %d states, %d transitions, depth %d, truncated=%v",
+				rep.Protocol, rep.States, rep.Transitions, rep.Depth, rep.Truncated)
+		})
+	}
+}
+
+// requireViolation runs opts and asserts the checker finds a violation of
+// the given kind whose counterexample trace fails when replayed with the
+// seeded fault and passes on a healthy simulator — the full closed loop
+// from model-level bug to execution-level regression test.
+func requireViolation(t *testing.T, opts Options, wantKind string) *Violation {
+	t.Helper()
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.Violation
+	if v == nil {
+		t.Fatalf("seeded fault %+v found no violation (%d states, depth %d)",
+			opts.Faults, rep.States, rep.Depth)
+	}
+	if v.Kind != wantKind {
+		t.Fatalf("violation kind %q (%s), want %q", v.Kind, v.Detail, wantKind)
+	}
+	if len(v.Trace) != opts.Config.Cores {
+		t.Fatalf("counterexample has %d streams for %d cores", len(v.Trace), opts.Config.Cores)
+	}
+	if v.ReplayFailure == "" {
+		t.Fatalf("counterexample trace replayed clean under fault %+v\npath: %v",
+			opts.Faults, v.Path)
+	}
+	if clean := Replay(opts.Config, sim.Faults{}, v.Trace); clean != "" {
+		t.Fatalf("counterexample trace fails on a healthy simulator too: %s", clean)
+	}
+	return v
+}
+
+// TestDropInvalidationsSWMR: losing invalidation messages must surface as
+// an SWMR violation, for the full-map baseline and both adaptive
+// directory variants.
+func TestDropInvalidationsSWMR(t *testing.T) {
+	for _, v := range []struct {
+		name    string
+		kind    sim.ProtocolKind
+		ackwise int
+	}{
+		{"mesi", sim.ProtocolMESI, 0},
+		{"adaptive", sim.ProtocolAdaptive, 0},
+		{"adaptive-ackwise1", sim.ProtocolAdaptive, 1},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			opts := shallow(v.kind, v.ackwise)
+			opts.Faults = sim.Faults{DropInvalidations: true}
+			viol := requireViolation(t, opts, "swmr")
+			t.Logf("%s: %s, replay: %s", viol.Kind, viol.Detail, viol.ReplayFailure)
+		})
+	}
+}
+
+// TestDropUpdatesDataValue: losing Dragon's update pushes leaves the
+// directory structurally intact but a sharer's copy stale — a pure
+// data-value violation whose probe read makes the replay fail the inline
+// version check.
+func TestDropUpdatesDataValue(t *testing.T) {
+	opts := shallow(sim.ProtocolDragon, 0)
+	opts.Faults = sim.Faults{DropUpdates: true}
+	v := requireViolation(t, opts, "data-value")
+	if !strings.Contains(v.ReplayFailure, "coherence violation") &&
+		!strings.Contains(v.ReplayFailure, "audit") {
+		t.Fatalf("replay failure does not look like a value check: %s", v.ReplayFailure)
+	}
+}
+
+// TestCounterexampleSurvivesTraceFormat: a counterexample round-tripped
+// through the binary trace format (WriteFile/ReadFile) still reproduces
+// the failure — the property that makes checker output storable as a
+// permanent regression trace.
+func TestCounterexampleSurvivesTraceFormat(t *testing.T) {
+	opts := shallow(sim.ProtocolMESI, 0)
+	opts.Faults = sim.Faults{DropInvalidations: true}
+	v := requireViolation(t, opts, "swmr")
+
+	var buf bytes.Buffer
+	if err := trace.WriteFile(&buf, v.Trace); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failure := Replay(opts.Config, opts.Faults, decoded); failure == "" {
+		t.Fatal("decoded counterexample replayed clean")
+	}
+}
+
+// TestFindViolationSWMR: the invariant checker itself, on a hand-built
+// snapshot with two writable copies.
+func TestFindViolationSWMR(t *testing.T) {
+	r := &runner{cores: 2}
+	snap := []sim.LineSnapshot{{
+		Addr:   0x100000,
+		Golden: 1,
+		Copies: []sim.CopySnapshot{
+			{Core: 0, State: sim.CopyModified, Version: 1},
+			{Core: 1, State: sim.CopyExclusive, Version: 1},
+		},
+	}}
+	f := r.findViolation(snap)
+	if f == nil || f.kind != "swmr" {
+		t.Fatalf("want swmr finding, got %+v", f)
+	}
+}
+
+// TestFindViolationDataValue: a stale shared copy is flagged with a probe
+// read on the stale holder.
+func TestFindViolationDataValue(t *testing.T) {
+	r := &runner{cores: 2}
+	snap := []sim.LineSnapshot{{
+		Addr:   0x100040,
+		Golden: 3,
+		Copies: []sim.CopySnapshot{
+			{Core: 0, State: sim.CopyShared, Version: 3},
+			{Core: 1, State: sim.CopyShared, Version: 2},
+		},
+	}}
+	f := r.findViolation(snap)
+	if f == nil || f.kind != "data-value" {
+		t.Fatalf("want data-value finding, got %+v", f)
+	}
+	if f.probe == nil || f.probe.Core != 1 || f.probe.Kind != mem.Read {
+		t.Fatalf("want probe read on core 1, got %+v", f.probe)
+	}
+}
+
+// TestRejectsTimestampConfig: timestamp-driven classification cannot be
+// state-hashed; the checker must refuse it rather than explore unsoundly.
+func TestRejectsTimestampConfig(t *testing.T) {
+	opts := shallow(sim.ProtocolAdaptive, 0)
+	opts.Config.Protocol.UseTimestamp = true
+	if _, err := Run(opts); err == nil {
+		t.Fatal("UseTimestamp config accepted")
+	}
+}

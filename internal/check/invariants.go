@@ -1,0 +1,111 @@
+package check
+
+// The checked invariants, evaluated over Machine.Snapshot states. These
+// are the protocol-level properties (SWMR, data-value) from the
+// coherence-verification literature; the structural directory/cache
+// agreement checks live in Simulator.Audit and run alongside.
+
+import (
+	"fmt"
+	"strings"
+
+	"lacc/internal/coherence"
+	"lacc/internal/mem"
+	"lacc/internal/sim"
+)
+
+// findViolation checks SWMR and the data-value invariant on one snapshot
+// and returns the first failure, or nil.
+func (r *runner) findViolation(snap []sim.LineSnapshot) *finding {
+	for i := range snap {
+		ls := &snap[i]
+
+		// SWMR: a writable (E/M) copy is exclusive of every other copy.
+		writable := 0
+		for _, c := range ls.Copies {
+			if c.State == sim.CopyExclusive || c.State == sim.CopyModified {
+				writable++
+			}
+		}
+		if writable > 1 || (writable == 1 && len(ls.Copies) > 1) {
+			return &finding{
+				kind: "swmr",
+				detail: fmt.Sprintf("line %#x: %d writable among %d copies (%s)",
+					ls.Addr, writable, len(ls.Copies), describeCopies(ls)),
+			}
+		}
+
+		// Data-value: every private copy (L1 or VR replica) is current.
+		for _, c := range ls.Copies {
+			if c.Version != ls.Golden {
+				probe := Action{Core: c.Core, Kind: mem.Read, Addr: ls.Addr}
+				return &finding{
+					kind: "data-value",
+					detail: fmt.Sprintf("line %#x: core %d holds %v copy version %d, golden %d",
+						ls.Addr, c.Core, c.State, c.Version, ls.Golden),
+					probe: &probe,
+				}
+			}
+		}
+
+		// Data-value at the home: an Uncached or Shared L2 line is the
+		// authoritative copy and must be current. (Exclusive is exempt —
+		// a silent E→M upgrade leaves the home stale until the owner is
+		// fetched; the owner's copy was checked above.)
+		if ls.Dir != nil && ls.L2 != nil &&
+			(ls.Dir.State == coherence.Uncached || ls.Dir.State == coherence.SharedState) &&
+			ls.L2.Version != ls.Golden {
+			f := &finding{
+				kind: "data-value",
+				detail: fmt.Sprintf("line %#x: %v home L2 at tile %d version %d, golden %d",
+					ls.Addr, ls.Dir.State, ls.L2.Home, ls.L2.Version, ls.Golden),
+			}
+			if c, ok := r.coreWithoutCopy(ls); ok {
+				// A fill read from the stale L2 observes the violation.
+				f.probe = &Action{Core: c, Kind: mem.Read, Addr: ls.Addr}
+			}
+			return f
+		}
+
+		// Data-value off chip: a line with no on-chip copy lives in DRAM.
+		if ls.L2 == nil && len(ls.Copies) == 0 && ls.DRAM != ls.Golden {
+			probe := Action{Core: 0, Kind: mem.Read, Addr: ls.Addr}
+			return &finding{
+				kind: "data-value",
+				detail: fmt.Sprintf("line %#x: off-chip, DRAM version %d, golden %d",
+					ls.Addr, ls.DRAM, ls.Golden),
+				probe: &probe,
+			}
+		}
+	}
+	return nil
+}
+
+// coreWithoutCopy returns the lowest core not holding any copy of the
+// line, whose read would fill from the (stale) home L2.
+func (r *runner) coreWithoutCopy(ls *sim.LineSnapshot) (int, bool) {
+	for c := 0; c < r.cores; c++ {
+		held := false
+		for _, cp := range ls.Copies {
+			if cp.Core == c {
+				held = true
+				break
+			}
+		}
+		if !held {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func describeCopies(ls *sim.LineSnapshot) string {
+	var b strings.Builder
+	for i, c := range ls.Copies {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "c%d:%v", c.Core, c.State)
+	}
+	return b.String()
+}

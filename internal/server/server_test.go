@@ -343,6 +343,11 @@ func TestSSEProgressStream(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
 	}
+	// Connection is hop-by-hop and forbidden in HTTP/2 responses; the
+	// handler must not set it.
+	if c := resp.Header.Get("Connection"); c != "" {
+		t.Errorf("Connection header %q set on SSE response", c)
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -29,12 +30,32 @@ import (
 // their simulations still coalesce with all concurrent work through the
 // session.
 
-// wantsSSE reports whether the request asked for a progress stream.
+// wantsSSE reports whether the request asked for a progress stream: the
+// ?stream=sse override, or an Accept header whose media ranges include
+// text/event-stream with a non-zero quality. Parsing is deliberately
+// minimal — split ranges on commas, parameters on semicolons — but a
+// substring match would misread "text/event-stream;q=0", which RFC 9110
+// defines as "explicitly not acceptable".
 func wantsSSE(r *http.Request) bool {
 	if r.URL.Query().Get("stream") == "sse" {
 		return true
 	}
-	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	for _, rng := range strings.Split(r.Header.Get("Accept"), ",") {
+		parts := strings.Split(rng, ";")
+		if !strings.EqualFold(strings.TrimSpace(parts[0]), "text/event-stream") {
+			continue
+		}
+		q := 1.0
+		for _, p := range parts[1:] {
+			if v, ok := strings.CutPrefix(strings.ToLower(strings.TrimSpace(p)), "q="); ok {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					q = f
+				}
+			}
+		}
+		return q > 0
+	}
+	return false
 }
 
 // sseWriter serializes event emission onto one response stream; the
@@ -61,11 +82,19 @@ func (sw *sseWriter) event(name string, payload any) {
 	sw.emit(name, payload)
 }
 
-// emit writes one event; callers hold mu.
+// emit writes one event; callers hold mu. An unmarshalable payload —
+// unreachable for the fixed payload types emitted today, but load-bearing
+// if one ever grows a float NaN or similar — degrades to a best-effort
+// error event rather than silently dropping the event and leaving the
+// client waiting on a stream that looks healthy.
 func (sw *sseWriter) emit(name string, payload any) {
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return
+		// Marshal of map[string]string cannot itself fail.
+		body, _ = json.Marshal(map[string]string{
+			"error": fmt.Sprintf("encoding %s event: %v", name, err),
+		})
+		name = "error"
 	}
 	fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, body)
 	if sw.f != nil {
@@ -109,7 +138,9 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, q *Request, ex
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
-	w.Header().Set("Connection", "keep-alive")
+	// No Connection header: it is a hop-by-hop field that HTTP/2 (RFC
+	// 9113 §8.2.2) forbids outright, and Go's HTTP/1.1 server keeps the
+	// connection alive by default anyway.
 	w.WriteHeader(http.StatusOK)
 	sw := &sseWriter{w: w, f: flusher}
 	s.stats.sseStreams.Add(1)

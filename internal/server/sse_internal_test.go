@@ -1,0 +1,75 @@
+package server
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWantsSSE pins the Accept parsing down to media-range granularity:
+// an explicit q=0 means "not acceptable" (RFC 9110 §12.4.2), and a
+// substring match must not be fooled by lookalike tokens.
+func TestWantsSSE(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{"*/*", false},
+		{"text/event-stream", true},
+		{"TEXT/Event-Stream", true},
+		{"  text/event-stream  ", true},
+		{"application/json, text/event-stream", true},
+		{"text/event-stream; q=0.5", true},
+		{"text/event-stream;q=1.000", true},
+		{"text/event-stream; q=0", false},
+		{"text/event-stream;q=0.0, application/json", false},
+		{"text/event-stream; Q=0.000", false},
+		{"text/event-stream-extended", false},
+		{"application/json;profile=text/event-stream", false},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("POST", "/v1/experiments/pct-sweep", nil)
+		if c.accept != "" {
+			r.Header.Set("Accept", c.accept)
+		}
+		if got := wantsSSE(r); got != c.want {
+			t.Errorf("Accept %q: wantsSSE = %v, want %v", c.accept, got, c.want)
+		}
+	}
+
+	r := httptest.NewRequest("POST", "/v1/experiments/pct-sweep?stream=sse", nil)
+	r.Header.Set("Accept", "application/json")
+	if !wantsSSE(r) {
+		t.Error("?stream=sse override ignored")
+	}
+}
+
+// TestEmitMarshalFailure: an unmarshalable payload must surface as a
+// best-effort error event on the stream, not vanish.
+func TestEmitMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &sseWriter{w: rec}
+	sw.event("progress", map[string]float64{"rate": math.NaN()})
+
+	body := rec.Body.String()
+	if !strings.HasPrefix(body, "event: error\n") {
+		t.Fatalf("degraded event is not an error event: %q", body)
+	}
+	if !strings.Contains(body, "encoding progress event") {
+		t.Errorf("error payload does not name the failed event: %q", body)
+	}
+	if !strings.HasSuffix(body, "\n\n") {
+		t.Errorf("event not terminated by a blank line: %q", body)
+	}
+
+	// And a healthy payload still emits normally.
+	rec = httptest.NewRecorder()
+	sw = &sseWriter{w: rec}
+	sw.event("progress", sseProgress{Done: 1, Total: 2})
+	if got := rec.Body.String(); got != "event: progress\ndata: {\"done\":1,\"total\":2}\n\n" {
+		t.Errorf("healthy emit = %q", got)
+	}
+}

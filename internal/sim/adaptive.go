@@ -420,6 +420,11 @@ func (s *adaptiveProtocol) invalidateSharers(home int, la mem.Addr, entry *dirEn
 func (s *adaptiveProtocol) invalAck(home int, la mem.Addr, id int, entry *dirEntry,
 	l2line *cache.Line, tArr mem.Cycle) mem.Cycle {
 
+	if s.faults.DropInvalidations {
+		// Seeded SWMR defect (Faults): the request is lost, the sharer's
+		// copy survives, yet the caller still deregisters it at home.
+		return tArr
+	}
 	tArr += mem.Cycle(s.cfg.L1DLatency)
 	line := s.invalidateTileCopy(id, la)
 	flits := 1

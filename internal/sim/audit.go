@@ -23,6 +23,15 @@ import (
 //     registered owner (possibly as a clean replica under VR),
 //   - inclusivity: every valid L1-D line has a directory entry at its
 //     recorded home.
+//
+// When CheckValues is on, Audit also enforces the data-value invariant at
+// quiescence: every valid L1-D copy carries the latest committed version,
+// and an Uncached or Shared home line is current in the L2 (Exclusive is
+// exempt — a silent E→M upgrade leaves the home stale by design until the
+// owner is fetched). These checks complement checkVersion, which fires
+// only when a stale value is actually read; Audit catches stale copies
+// that a short run never touches again, which is what lets model-checker
+// counterexamples fail deterministically when replayed as traces.
 func (s *Simulator) Audit() error {
 	// Directory-side checks.
 	for home := range s.tiles {
@@ -49,8 +58,16 @@ func (s *Simulator) Audit() error {
 
 // auditEntry checks one directory entry against the caches.
 func (s *Simulator) auditEntry(home int, la mem.Addr, entry *dirEntry) error {
-	if s.tiles[home].l2.Probe(la) == nil {
+	l2line := s.tiles[home].l2.Probe(la)
+	if l2line == nil {
 		return fmt.Errorf("sim: audit: directory entry %#x at tile %d without L2 line", la, home)
+	}
+	if s.cfg.CheckValues &&
+		(entry.state == coherence.Uncached || entry.state == coherence.SharedState) {
+		if want := s.golden.get(la); l2line.Version != want {
+			return fmt.Errorf("sim: audit: %v home line %#x at tile %d version %d, golden %d",
+				entry.state, la, home, l2line.Version, want)
+		}
 	}
 	holders := 0
 	for id := range s.tiles {
@@ -98,6 +115,13 @@ func (s *Simulator) auditL1(id int) error {
 			fail = fmt.Errorf("sim: audit: L1 line %#x at core %d has no directory entry at home %d",
 				l.Addr, id, l.Home)
 			return
+		}
+		if s.cfg.CheckValues {
+			if want := s.golden.get(l.Addr); l.Version != want {
+				fail = fmt.Errorf("sim: audit: L1 copy of %#x at core %d version %d, golden %d",
+					l.Addr, id, l.Version, want)
+				return
+			}
 		}
 		switch l.State {
 		case lineS:

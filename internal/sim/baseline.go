@@ -109,6 +109,11 @@ func (d *fullMapDirectory) invalidateSharers(home int, la mem.Addr, entry *dirEn
 func (d *fullMapDirectory) invalCopy(home int, la mem.Addr, id int,
 	l2line *cache.Line, tArr mem.Cycle) mem.Cycle {
 
+	if d.faults.DropInvalidations {
+		// Seeded SWMR defect (Faults): the request is lost, the sharer's
+		// copy survives, yet the caller still deregisters it at home.
+		return tArr
+	}
 	tArr += mem.Cycle(d.cfg.L1DLatency)
 	line, ok := d.tiles[id].l1d.Invalidate(la)
 	if !ok {

@@ -206,7 +206,11 @@ func (p *dragonProtocol) writePath(c *coreState, la mem.Addr, home int,
 			if ol == nil {
 				panic(fmt.Sprintf("sim: update to absent copy %#x at tile %d", la, id))
 			}
-			ol.Version = ver
+			if !p.faults.DropUpdates {
+				// Seeded data-value defect (Faults): the pushed word is
+				// lost and the sharer's copy keeps its stale version.
+				ol.Version = ver
+			}
 			p.meter.L1DWrites++
 			p.updates++
 			tAck := p.mesh.Unicast(id, home, 1, tU)

@@ -158,6 +158,11 @@ type Simulator struct {
 	// storage-layout axis. The reference core always runs generic.
 	forceGeneric bool
 
+	// faults are the seeded protocol defects for checker self-tests
+	// (machine.go). Deliberately outside Config — experiment fingerprints
+	// never observe them — and preserved across Reset.
+	faults Faults
+
 	golden  verStore // committed version per line
 	dramVer verStore // version resident in DRAM
 

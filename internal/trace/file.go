@@ -136,6 +136,14 @@ func ReadFile(r io.Reader) ([][]mem.Access, error) {
 		}
 		out[c] = accs
 	}
+	// A valid file is exactly header + cores stream sections: anything
+	// after the last stream is corruption (a truncated count elsewhere, a
+	// concatenated file, garbage) that silent acceptance would mask.
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("%w: trailing bytes after final stream", ErrBadTrace)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("%w: after final stream: %v", ErrBadTrace, err)
+	}
 	return out, nil
 }
 

@@ -103,6 +103,29 @@ func TestReadFileRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadFileRejectsTrailingBytes: a valid file followed by anything —
+// even a single NUL — must fail, not decode cleanly. Silent acceptance
+// masked concatenation and truncated-count corruption.
+func TestReadFileRejectsTrailingBytes(t *testing.T) {
+	var valid bytes.Buffer
+	if err := WriteFile(&valid, sampleStreams()); err != nil {
+		t.Fatal(err)
+	}
+	for name, tail := range map[string][]byte{
+		"single NUL":         {0x00},
+		"garbage":            []byte("xyz"),
+		"concatenated trace": valid.Bytes(),
+	} {
+		data := append(append([]byte{}, valid.Bytes()...), tail...)
+		if _, err := ReadFile(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+	if _, err := ReadFile(bytes.NewReader(valid.Bytes())); err != nil {
+		t.Fatalf("unmodified file: %v", err)
+	}
+}
+
 func TestReadFileRejectsHugeCoreCount(t *testing.T) {
 	var buf bytes.Buffer
 	buf.WriteString(Magic)

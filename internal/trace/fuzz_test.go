@@ -36,6 +36,7 @@ func FuzzParseTrace(f *testing.F) {
 	f.Add([]byte(Magic + "\x01"))
 	f.Add([]byte(Magic + "\x01\x01\x09"))
 	f.Add(append([]byte(Magic), 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f))
+	f.Add(append(append([]byte{}, valid.Bytes()...), 0x00)) // trailing byte
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		streams, err := ReadFile(bytes.NewReader(data))
