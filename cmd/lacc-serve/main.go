@@ -83,6 +83,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("lacc-serve: shutting down")
+	// End in-flight SSE streams with a terminal event before Shutdown's
+	// connection drain, which would otherwise wait on arbitrarily long
+	// progress streams (plain requests finish normally during the drain).
+	h.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

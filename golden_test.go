@@ -120,17 +120,58 @@ func TestGoldenLargeMesh256(t *testing.T) {
 			cfg.Cores = 256
 			cfg.MeshWidth = 16
 			cfg.ProtocolKind = g.protocol
-			res, err := lacc.RunWorkload(cfg, "streamcluster", 0.1, 7)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.CompletionCycles != g.completion || res.DataAccesses != g.accesses ||
-				res.WordReads+res.WordWrites+res.UpdateWrites != g.activity ||
-				res.LinkFlits != g.linkFlits {
-				t.Errorf("large-mesh golden row drifted for %s:\n got: completion=%d accesses=%d activity=%d linkFlits=%d\nwant: %+v",
-					g.protocol, res.CompletionCycles, res.DataAccesses,
-					res.WordReads+res.WordWrites+res.UpdateWrites, res.LinkFlits, g)
-			}
+			runLargeMeshGolden(t, cfg, g.completion, g.accesses, g.activity, g.linkFlits)
 		})
+	}
+}
+
+// TestGoldenLargeMesh1024 pins a 1024-core 32x32 machine — sixteen times
+// the paper's core count, the scale the sharded engine targets. The row is
+// generated (and must be regenerated) on the sequential engine: sharded
+// runs with more than one worker are not run-to-run deterministic, so the
+// bit-exact pin stays sequential and the sharded engine is held to the
+// bounded-divergence contract by internal/sim's differential tests.
+func TestGoldenLargeMesh1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-core simulation is slow; skipped with -short")
+	}
+	golden := []struct {
+		protocol   lacc.ProtocolKind
+		completion lacc.Cycle
+		accesses   uint64
+		activity   uint64
+		linkFlits  uint64
+	}{
+		{lacc.ProtocolAdaptive, 3042794, 798752, 244164, 37327169},
+		{lacc.ProtocolMESI, 6814354, 798752, 0, 98979588},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(string(g.protocol), func(t *testing.T) {
+			t.Parallel()
+			cfg := lacc.DefaultConfig()
+			cfg.Cores = 1024
+			cfg.MeshWidth = 32
+			cfg.ProtocolKind = g.protocol
+			runLargeMeshGolden(t, cfg, g.completion, g.accesses, g.activity, g.linkFlits)
+		})
+	}
+}
+
+// runLargeMeshGolden runs streamcluster at scale 0.1, seed 7 under cfg and
+// compares the signature counters against the pinned row.
+func runLargeMeshGolden(t *testing.T, cfg lacc.Config, completion lacc.Cycle, accesses, activity, linkFlits uint64) {
+	t.Helper()
+	res, err := lacc.RunWorkload(cfg, "streamcluster", 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionCycles != completion || res.DataAccesses != accesses ||
+		res.WordReads+res.WordWrites+res.UpdateWrites != activity ||
+		res.LinkFlits != linkFlits {
+		t.Errorf("large-mesh golden row drifted for %s:\n got: completion=%d accesses=%d activity=%d linkFlits=%d\nwant: completion=%d accesses=%d activity=%d linkFlits=%d",
+			res.Protocol, res.CompletionCycles, res.DataAccesses,
+			res.WordReads+res.WordWrites+res.UpdateWrites, res.LinkFlits,
+			completion, accesses, activity, linkFlits)
 	}
 }

@@ -7,6 +7,7 @@ package dram
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lacc/internal/mem"
 )
@@ -43,10 +44,16 @@ func DefaultTiles(n, width, height int) []int {
 	return tiles
 }
 
-// Model is the memory-controller array. Not safe for concurrent use.
+// Model is the memory-controller array. A Model built by New is not safe
+// for concurrent use; Clone returns handles sharing the controller queues
+// through atomic updates for the sharded engine's workers.
 type Model struct {
 	cfg      Config
-	nextFree []mem.Cycle
+	nextFree []uint64
+
+	// concurrent switches queue updates to atomic compare-and-swap loops.
+	// Set only on clones.
+	concurrent bool
 
 	// Reads and Writes count line/word transfers per direction.
 	Reads, Writes uint64
@@ -70,7 +77,24 @@ func New(cfg Config) *Model {
 	if cfg.LatencyCycles < 0 {
 		panic("dram: negative latency")
 	}
-	return &Model{cfg: cfg, nextFree: make([]mem.Cycle, cfg.Controllers)}
+	return &Model{cfg: cfg, nextFree: make([]uint64, cfg.Controllers)}
+}
+
+// Clone returns a handle onto the same controller array for one concurrent
+// worker: the next-free queues are shared (workers observe each other's
+// queueing delay) while the traffic counters are private, merged afterwards
+// with AddCounters. The clone performs queue updates atomically; the
+// original must stay quiescent while clones are live.
+func (m *Model) Clone() *Model {
+	return &Model{cfg: m.cfg, nextFree: m.nextFree, concurrent: true}
+}
+
+// AddCounters folds a clone's private traffic counters into m.
+func (m *Model) AddCounters(o *Model) {
+	m.Reads += o.Reads
+	m.Writes += o.Writes
+	m.BytesMoved += o.BytesMoved
+	m.QueueCycles += o.QueueCycles
 }
 
 // Reset frees every controller and zeroes the traffic counters, returning
@@ -125,16 +149,31 @@ func (m *Model) service(c int, bytes int, at mem.Cycle) mem.Cycle {
 	if bytes <= 0 {
 		panic("dram: non-positive transfer size")
 	}
-	start := at
-	if m.nextFree[c] > start {
-		start = m.nextFree[c]
-	}
-	m.QueueCycles += uint64(start - at)
 	transfer := mem.Cycle(float64(bytes)/m.cfg.BytesPerCycle + 0.999999)
 	if transfer == 0 {
 		transfer = 1
 	}
-	m.nextFree[c] = start + transfer
+	var start mem.Cycle
+	if m.concurrent {
+		p := &m.nextFree[c]
+		for {
+			cur := atomic.LoadUint64(p)
+			start = at
+			if free := mem.Cycle(cur); free > start {
+				start = free
+			}
+			if atomic.CompareAndSwapUint64(p, cur, uint64(start+transfer)) {
+				break
+			}
+		}
+	} else {
+		start = at
+		if free := mem.Cycle(m.nextFree[c]); free > start {
+			start = free
+		}
+		m.nextFree[c] = uint64(start + transfer)
+	}
+	m.QueueCycles += uint64(start - at)
 	m.BytesMoved += uint64(bytes)
 	return start + transfer + mem.Cycle(m.cfg.LatencyCycles)
 }

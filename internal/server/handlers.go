@@ -145,6 +145,16 @@ func (s *Server) experimentHandler(name string, exec execFunc) http.HandlerFunc 
 				s.writeError(w, badRequest("format=text cannot be combined with SSE streaming (the result event is JSON)"))
 				return
 			}
+			if _, ok := w.(http.Flusher); !ok {
+				// Without a Flusher every event would sit in the server's
+				// write buffer until the handler returned — a "stream"
+				// delivered all at once, after the experiment finished. Fail
+				// the upgrade before committing the SSE content type so the
+				// client gets a plain JSON error instead of a silent hang.
+				s.writeError(w, &apiError{status: http.StatusInternalServerError,
+					msg: "streaming unsupported: the connection's response writer cannot flush (retry without SSE)"})
+				return
+			}
 			s.serveSSE(w, r, q, exec)
 			return
 		}

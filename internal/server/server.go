@@ -121,8 +121,24 @@ type Server struct {
 	// single coalesces byte-identical in-flight request bodies.
 	single singleflight
 
+	// drain is closed by Drain when the process begins shutting down;
+	// in-flight SSE streams observe it and end with a terminal event.
+	drain     chan struct{}
+	drainOnce sync.Once
+
 	stats serverStats
 }
+
+// Drain begins shutdown: in-flight SSE streams are canceled and close
+// with a terminal error event instead of holding their connections until
+// the experiment completes. Call it before http.Server.Shutdown, whose
+// connection drain would otherwise wait on arbitrarily long streams.
+// Safe to call multiple times; plain JSON requests are unaffected (they
+// finish and count toward Shutdown's drain as usual).
+func (s *Server) Drain() { s.drainOnce.Do(func() { close(s.drain) }) }
+
+// draining returns the channel closed when shutdown begins.
+func (s *Server) draining() <-chan struct{} { return s.drain }
 
 // serverStats aggregates the monotonic counters behind /v1/stats.
 type serverStats struct {
@@ -142,8 +158,9 @@ type serverStats struct {
 func New(cfg Config) *Server {
 	cfg = cfg.normalize()
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		drain: make(chan struct{}),
 	}
 	s.session.Store(cfg.Session)
 	s.mux = http.NewServeMux()

@@ -455,3 +455,105 @@ func TestClientDisconnect(t *testing.T) {
 		t.Errorf("retry sweep has %d PCTs, want 4", len(sweep.PCTs))
 	}
 }
+
+// noFlush hides the ResponseRecorder's Flush method, modeling a
+// middleware-wrapped writer that cannot stream.
+type noFlush struct{ http.ResponseWriter }
+
+// TestSSERejectsNonFlusher: a response writer without http.Flusher must
+// fail the stream upgrade at dispatch with a plain JSON error — before
+// the SSE content type is committed and before the experiment runs — not
+// serve a "stream" that sits in the write buffer until completion.
+func TestSSERejectsNonFlusher(t *testing.T) {
+	h := server.New(server.Config{MaxInFlight: 1, Parallelism: 1})
+	body := fmt.Sprintf(`{"cores":%d,"scale":%g,"benchmarks":["matmul"],"pcts":[1]}`, testCores, testScale)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost,
+		"/v1/experiments/pct-sweep?stream=sse", strings.NewReader(body))
+	h.ServeHTTP(noFlush{rec}, req)
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	if got := rec.Body.String(); !strings.Contains(got, "streaming unsupported") {
+		t.Errorf("error body %q does not name the streaming failure", got)
+	}
+	if strings.Contains(rec.Body.String(), "event:") {
+		t.Errorf("rejected upgrade still emitted SSE events: %q", rec.Body.String())
+	}
+
+	// The same writer with Flush present streams normally.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost,
+		"/v1/experiments/pct-sweep?stream=sse", strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("flushing writer got Content-Type %q, want text/event-stream", ct)
+	}
+}
+
+// TestDrainEndsSSEWithFinalEvent: once Drain is called, an SSE request is
+// still answered on a committed 200 stream but terminates with an
+// explicit error event naming the shutdown, instead of hanging until the
+// experiment completes or the connection is torn down silently.
+func TestDrainEndsSSEWithFinalEvent(t *testing.T) {
+	h := server.New(server.Config{MaxInFlight: 1, Parallelism: 1})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	h.Drain()
+	h.Drain() // idempotent
+
+	body := fmt.Sprintf(`{"cores":%d,"scale":%g,"benchmarks":["matmul"],"pcts":[1,2,3,4]}`, testCores, testScale)
+	resp, err := http.Post(ts.URL+"/v1/experiments/pct-sweep?stream=sse",
+		"application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (SSE commits before execution)", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := parseSSE(t, string(raw))
+	if len(events) == 0 {
+		t.Fatal("draining server closed the stream with no terminal event")
+	}
+	last := events[len(events)-1]
+	if last.name != "error" || !strings.Contains(last.data, "shutting down") {
+		t.Fatalf("terminal event = %q %q, want an error naming the shutdown", last.name, last.data)
+	}
+}
+
+// TestShardsOverride: the shards config field reaches the simulator —
+// valid values run, and the simulator's own limits surface as 400s.
+func TestShardsOverride(t *testing.T) {
+	ts := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 1})
+
+	body := fmt.Sprintf(`{"workload":"matmul","cores":%d,"scale":%g,"config":{"shards":2}}`, testCores, testScale)
+	status, b := post(t, ts, "/v1/run", body)
+	if status != http.StatusOK {
+		t.Fatalf("shards=2 run: %d %s", status, b)
+	}
+	var res struct{ DataAccesses uint64 }
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.DataAccesses == 0 {
+		t.Error("sharded run reported zero data accesses")
+	}
+
+	for _, bad := range []struct{ shards int }{{testCores + 1}, {-1}} {
+		body := fmt.Sprintf(`{"workload":"matmul","cores":%d,"scale":%g,"config":{"shards":%d}}`,
+			testCores, testScale, bad.shards)
+		status, b := post(t, ts, "/v1/run", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("shards=%d: status %d (%s), want 400", bad.shards, status, b)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -135,7 +136,9 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, q *Request, ex
 	}
 	defer s.release()
 
-	flusher, _ := w.(http.Flusher)
+	// Dispatch rejects non-Flusher response writers before routing here
+	// (experimentHandler), so the assertion cannot fail.
+	flusher := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	// No Connection header: it is a hop-by-hop field that HTTP/2 (RFC
@@ -145,11 +148,40 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, q *Request, ex
 	sw := &sseWriter{w: w, f: flusher}
 	s.stats.sseStreams.Add(1)
 
+	// The execution context ends when the client disconnects or the server
+	// drains (Drain), so shutdown is never held hostage by a long sweep.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-s.draining():
+			cancel()
+		case <-watchDone:
+		}
+	}()
+	// Synchronous pre-check: a server already draining terminates the
+	// stream immediately (and deterministically) instead of racing the
+	// watcher goroutine against a fast experiment.
+	select {
+	case <-s.draining():
+		cancel()
+	default:
+	}
+
 	progress := sw.progress
-	resp, err := s.executeAdmitted(r.Context(), q, exec, "", progress)
+	resp, err := s.executeAdmitted(ctx, q, exec, "", progress)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; nothing to report
+		}
+		if ctx.Err() != nil {
+			// Server draining with the client still connected: terminate
+			// the stream with an explicit final event rather than a silent
+			// connection close mid-progress.
+			sw.event("error", map[string]string{"error": "server shutting down"})
+			return
 		}
 		s.stats.errors.Add(1)
 		sw.event("error", map[string]string{"error": err.Error()})

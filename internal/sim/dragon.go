@@ -64,7 +64,7 @@ func (p *dragonProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Ad
 	var l1l2, wait, sharersLat, offchip mem.Cycle
 	l1l2 = t - t0
 
-	home, recl := p.nuca.DataHome(addr, c.id)
+	home, recl := p.dataHome(addr, c.id)
 	if recl != nil {
 		p.PageMove(recl, t)
 		t += mem.Cycle(p.cfg.PageMoveLatency)
@@ -81,6 +81,9 @@ func (p *dragonProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Ad
 	l1l2 += tArr - t
 	t = tArr
 
+	// The whole home-side transaction — directory walk, sharer round
+	// trips, grant — runs under the home tile's lock.
+	p.lockHome(home)
 	entry, l2line, tDir, wait, fill := p.lookupEntry(p, c, home, la, t)
 	offchip += fill
 	l1l2 += mem.Cycle(p.cfg.L2Latency)
@@ -103,7 +106,8 @@ func (p *dragonProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Ad
 		sharersLat += shLat
 		l1l2 += tEnd - t - shLat
 	}
-	c.history.set(la, hCached)
+	p.unlockHome(home)
+	p.setHistory(c.id, la, hCached)
 
 	c.l1d.Record(outcome)
 	c.bd.L1ToL2 += float64(l1l2)
@@ -126,6 +130,7 @@ func (p *dragonProtocol) grantReadLine(c *coreState, la mem.Addr, home int,
 	p.grantRead(c, entry)
 	p.meter.L2LineReads++
 	tEnd := p.mesh.Unicast(home, c.id, 9, t)
+	p.lockL1(c.id)
 	line := p.installLine(p, c, la, home, l2line, false, tEnd)
 	line.Util++
 	p.tiles[c.id].l1d.Touch(line, tEnd)
@@ -134,6 +139,7 @@ func (p *dragonProtocol) grantReadLine(c *coreState, la mem.Addr, home int,
 	} else {
 		line.State = lineS
 	}
+	p.unlockL1(c.id)
 	if p.cfg.CheckValues {
 		p.checkVersion("private fill read", la, line.Version)
 	}
@@ -169,22 +175,35 @@ func (p *dragonProtocol) writePath(c *coreState, la mem.Addr, home int,
 		// The requester is the last remaining sharer: promote its copy to
 		// Modified and write locally from now on (Dragon's Sm -> M when
 		// the update would reach nobody).
-		entry.sharers.Remove(c.id)
+		if !p.relaxed() || entry.sharers.Contains(c.id) {
+			entry.sharers.Remove(c.id)
+		} else {
+			// The lone registration is a phantom left by a deferred
+			// eviction; the requester's copy is real but unregistered.
+			entry.sharers.Clear()
+		}
 		entry.state = coherence.ModifiedState
 		entry.owner = int16(c.id)
 		p.meter.DirUpdates++
 		p.tiles[home].l2.Touch(l2line, t)
 		entry.busyUntil = t
 		tEnd = p.mesh.Unicast(home, c.id, 1, t)
+		p.lockL1(c.id)
 		line := p.tiles[c.id].l1d.Probe(la)
 		if line == nil {
-			panic("sim: update upgrade without an L1 copy")
+			p.unlockL1(c.id)
+			if !p.relaxed() {
+				panic("sim: update upgrade without an L1 copy")
+			}
+			// Displaced concurrently; keep the timing, skip the mutation.
+			return tEnd, sharersLat
 		}
 		line.Util++
 		p.tiles[c.id].l1d.Touch(line, tEnd)
 		line.State = lineM
 		line.Dirty = true
 		line.Version = p.goldenWrite(la)
+		p.unlockL1(c.id)
 		return tEnd, sharersLat
 
 	default:
@@ -202,15 +221,26 @@ func (p *dragonProtocol) writePath(c *coreState, la mem.Addr, home int,
 			}
 			tU := p.mesh.Unicast(home, id, 2, t) // header + word
 			tU += mem.Cycle(p.cfg.L1DLatency)
+			p.lockL1(id)
 			ol := p.tiles[id].l1d.Probe(la)
 			if ol == nil {
-				panic(fmt.Sprintf("sim: update to absent copy %#x at tile %d", la, id))
+				p.unlockL1(id)
+				if !p.relaxed() {
+					panic(fmt.Sprintf("sim: update to absent copy %#x at tile %d", la, id))
+				}
+				// Displaced concurrently; ack without applying the update.
+				tAck := p.mesh.Unicast(id, home, 1, tU)
+				if tAck > latest {
+					latest = tAck
+				}
+				continue
 			}
 			if !p.faults.DropUpdates {
 				// Seeded data-value defect (Faults): the pushed word is
 				// lost and the sharer's copy keeps its stale version.
 				ol.Version = ver
 			}
+			p.unlockL1(id)
 			p.meter.L1DWrites++
 			p.updates++
 			tAck := p.mesh.Unicast(id, home, 1, tU)
@@ -228,25 +258,37 @@ func (p *dragonProtocol) writePath(c *coreState, la mem.Addr, home int,
 			// The requester's own S copy absorbs the word; the home's ack
 			// is a single flit.
 			tEnd = p.mesh.Unicast(home, c.id, 1, t)
+			p.lockL1(c.id)
 			line := p.tiles[c.id].l1d.Probe(la)
 			if line == nil {
-				panic("sim: update upgrade without an L1 copy")
+				p.unlockL1(c.id)
+				if !p.relaxed() {
+					panic("sim: update upgrade without an L1 copy")
+				}
+				// Displaced concurrently; keep the timing, skip the
+				// mutation.
+				return tEnd, sharersLat
 			}
 			line.Util++
 			line.Version = ver
 			p.tiles[c.id].l1d.Touch(line, tEnd)
+			p.unlockL1(c.id)
 			return tEnd, sharersLat
 		}
 		// Write miss to a shared line: the requester joins the sharers
 		// with a full line fill carrying the committed word.
-		entry.sharers.Add(c.id)
+		if !p.relaxed() || !entry.sharers.Contains(c.id) {
+			entry.sharers.Add(c.id)
+		}
 		p.meter.DirUpdates++
 		p.meter.L2LineReads++
 		tEnd = p.mesh.Unicast(home, c.id, 9, t)
+		p.lockL1(c.id)
 		line := p.installLine(p, c, la, home, l2line, false, tEnd)
 		line.Util++
 		p.tiles[c.id].l1d.Touch(line, tEnd)
 		line.State = lineS
+		p.unlockL1(c.id)
 		return tEnd, sharersLat
 	}
 }

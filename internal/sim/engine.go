@@ -43,6 +43,19 @@ import (
 // runEngine drains the run queue, dispatching to the engine matching the
 // configured protocol.
 func (s *Simulator) runEngine() error {
+	if s.forceSharded {
+		n := s.cfg.Shards
+		if n < 1 {
+			n = 1
+		}
+		if n > s.cfg.Cores {
+			n = s.cfg.Cores
+		}
+		return s.runSharded(n)
+	}
+	if n := s.shardCount(); n > 1 {
+		return s.runSharded(n)
+	}
 	if s.reference || s.forceGeneric {
 		return s.runGeneric()
 	}

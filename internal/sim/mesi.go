@@ -57,7 +57,7 @@ func (p *mesiProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Addr
 	var l1l2, wait, sharersLat, offchip mem.Cycle
 	l1l2 = t - t0
 
-	home, recl := p.nuca.DataHome(addr, c.id)
+	home, recl := p.dataHome(addr, c.id)
 	if recl != nil {
 		p.PageMove(recl, t)
 		t += mem.Cycle(p.cfg.PageMoveLatency)
@@ -70,6 +70,9 @@ func (p *mesiProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Addr
 	l1l2 += tArr - t
 	t = tArr
 
+	// The whole home-side transaction — directory walk, sharer round
+	// trips, grant — runs under the home tile's lock.
+	p.lockHome(home)
 	entry, l2line, tDir, wait, fill := p.lookupEntry(p, c, home, la, t)
 	offchip += fill
 	l1l2 += mem.Cycle(p.cfg.L2Latency)
@@ -93,8 +96,9 @@ func (p *mesiProtocol) missPath(c *coreState, kind mem.AccessKind, addr mem.Addr
 	entry.busyUntil = t
 
 	tEnd := p.grantLine(c, kind, la, home, entry, l2line, upgrade, t)
+	p.unlockHome(home)
 	l1l2 += tEnd - t
-	c.history.set(la, hCached)
+	p.setHistory(c.id, la, hCached)
 
 	c.l1d.Record(outcome)
 	c.bd.L1ToL2 += float64(l1l2)
@@ -118,7 +122,12 @@ func (p *mesiProtocol) grantLine(c *coreState, kind mem.AccessKind, la mem.Addr,
 	if kind == mem.Write && !upgrade {
 		// invalidateSharers left the line uncached: a plain Modified fill.
 		if entry.sharers.Count() != 0 {
-			panic(fmt.Sprintf("sim: write grant with %d live sharers", entry.sharers.Count()))
+			if !p.relaxed() {
+				panic(fmt.Sprintf("sim: write grant with %d live sharers", entry.sharers.Count()))
+			}
+			// Phantom registrations whose copies vanished under deferred
+			// eviction; their acks were already collected.
+			entry.sharers.Clear()
 		}
 		return p.grantModifiedFill(p, c, la, home, entry, l2line, t)
 	}
@@ -139,7 +148,10 @@ func (p *mesiProtocol) grantLine(c *coreState, kind mem.AccessKind, la mem.Addr,
 			entry.sharers.Remove(c.id)
 		}
 		if entry.sharers.Count() != 0 {
-			panic(fmt.Sprintf("sim: write grant with %d live sharers", entry.sharers.Count()))
+			if !p.relaxed() {
+				panic(fmt.Sprintf("sim: write grant with %d live sharers", entry.sharers.Count()))
+			}
+			entry.sharers.Clear()
 		}
 		entry.state = coherence.ModifiedState
 		entry.owner = int16(c.id)
@@ -147,6 +159,7 @@ func (p *mesiProtocol) grantLine(c *coreState, kind mem.AccessKind, la mem.Addr,
 	}
 
 	tEnd := p.mesh.Unicast(home, c.id, replyFlits, t)
+	p.lockL1(c.id)
 	line := p.installLine(p, c, la, home, l2line, upgrade, tEnd)
 
 	line.Util++
@@ -161,6 +174,7 @@ func (p *mesiProtocol) grantLine(c *coreState, kind mem.AccessKind, la mem.Addr,
 	default:
 		line.State = lineS
 	}
+	p.unlockL1(c.id)
 	if kind == mem.Read && p.cfg.CheckValues {
 		p.checkVersion("private fill read", la, line.Version)
 	}

@@ -117,14 +117,21 @@ type protocolCore interface {
 // bit-identical by construction.
 func (s *Simulator) dataAccess(p protocolCore, c *coreState, kind mem.AccessKind, addr mem.Addr) {
 	la := mem.LineOf(addr)
+	// The requester's own L1 array is mutated by remote invalidations in
+	// the sharded engine, so even the hit path probes under the L1 lock
+	// (no-op when sequential).
+	s.lockL1(c.id)
 	if line := s.tiles[c.id].l1d.Probe(la); line != nil {
 		if kind == mem.Read || line.State != lineS {
 			s.l1DataHit(c, line, kind, la)
+			s.unlockL1(c.id)
 			return
 		}
+		s.unlockL1(c.id)
 		p.missPath(c, kind, addr, true)
 		return
 	}
+	s.unlockL1(c.id)
 	p.missPath(c, kind, addr, false)
 }
 
@@ -215,7 +222,10 @@ func (s *Simulator) missOutcome(c *coreState, la mem.Addr, upgrade bool) stats.M
 	if upgrade {
 		return stats.MissUpgrade
 	}
-	switch c.history.get(la) {
+	s.lockL1(c.id)
+	h := c.history.get(la)
+	s.unlockL1(c.id)
+	switch h {
 	case hNever:
 		return stats.MissCold
 	case hEvicted, hCached:
@@ -230,6 +240,8 @@ func (s *Simulator) missOutcome(c *coreState, la mem.Addr, upgrade bool) stats.M
 // tileHasCopy reports whether a tile holds the line privately — in its L1
 // or, under victim replication, as a local L2 replica.
 func (s *Simulator) tileHasCopy(id int, la mem.Addr) bool {
+	s.lockL1(id)
+	defer s.unlockL1(id)
 	if s.tiles[id].l1d.Probe(la) != nil {
 		return true
 	}

@@ -158,6 +158,21 @@ type Simulator struct {
 	// storage-layout axis. The reference core always runs generic.
 	forceGeneric bool
 
+	// forceSharded pins the run engine to the sharded scheduler (shard.go)
+	// regardless of shardCount's gating, so the differential tests can
+	// replay the single-worker sharded engine — which must be bit-exact —
+	// against the generic one under every configuration.
+	forceSharded bool
+
+	// sh is the shard runtime while a sharded run is in flight (nil
+	// otherwise); shardIdx is this clone's worker index. pendEvict buffers
+	// deferred L1 eviction notifications and reclScratch the worker-private
+	// R-NUCA reclassification copy (see shard.go).
+	sh          *shardRuntime
+	shardIdx    int
+	pendEvict   []pendingEvict
+	reclScratch nuca.Reclassification
+
 	// faults are the seeded protocol defects for checker self-tests
 	// (machine.go). Deliberately outside Config — experiment fingerprints
 	// never observe them — and preserved across Reset.
@@ -356,6 +371,8 @@ func (s *Simulator) Reset(cfg Config) error {
 	s.invalidations, s.bcastInvals = 0, 0
 	s.replicaHits, s.replicaInserts, s.replicaEvictions = 0, 0, 0
 
+	s.pendEvict = s.pendEvict[:0]
+
 	s.cfg = cfg
 	s.fetch8 = fetchFixedPoint(cfg.FetchPerOp)
 	s.proto = newProtocol(s)
@@ -506,7 +523,7 @@ func (s *Simulator) maybeReleaseBarrier() {
 		c.bd.Sync += float64(release - c.barrierArrive)
 		c.now = release
 		c.waitingBarrier = false
-		s.runQ.push(c.now, int32(i))
+		s.enqueueRunnable(c.now, int32(i))
 	}
 	s.barrierN = 0
 }
@@ -525,7 +542,7 @@ func (s *Simulator) lockAcquire(c *coreState, id uint64) {
 		lat := mem.Cycle(s.cfg.LockLatency)
 		c.bd.Sync += float64(lat)
 		c.now += lat
-		s.runQ.push(c.now, int32(c.id))
+		s.enqueueRunnable(c.now, int32(c.id))
 		return
 	}
 	l.queue = append(l.queue, lockWaiter{core: c.id, arrival: c.now})
@@ -553,7 +570,7 @@ func (s *Simulator) lockRelease(c *coreState, id uint64) {
 	wc := &s.cores[w.core]
 	wc.bd.Sync += float64(grant - w.arrival)
 	wc.now = grant
-	s.runQ.push(wc.now, int32(w.core))
+	s.enqueueRunnable(wc.now, int32(w.core))
 }
 
 // collect aggregates per-core statistics into a Result.
@@ -651,7 +668,13 @@ func (s *Simulator) checkVersion(ctx string, la mem.Addr, ver uint64) {
 func (s *Simulator) removeDirEntry(home int, la mem.Addr, e *dirEntry) {
 	if e.cls != nil {
 		if !s.reference {
-			s.clsPool.Put(e.cls)
+			if s.sh != nil {
+				s.sh.poolMu.Lock()
+				s.clsPool.Put(e.cls)
+				s.sh.poolMu.Unlock()
+			} else {
+				s.clsPool.Put(e.cls)
+			}
 		}
 		e.cls = nil
 	}

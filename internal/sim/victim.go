@@ -76,7 +76,7 @@ func (s *adaptiveProtocol) replicaRead(c *coreState, addr mem.Addr) bool {
 	l1 := s.tiles[c.id].l1d
 	line, victim, evicted := l1.Insert(la)
 	if evicted {
-		s.L1Evict(c, victim, t)
+		s.l1EvictNotify(s, c, victim, t)
 	}
 	s.meter.L1DWrites++ // line fill
 	line.State = lineS
@@ -151,18 +151,20 @@ func (s *adaptiveProtocol) notifyReplicaEviction(tile int, victim cache.Line, t 
 
 // invalidateTileCopy removes a tile's copy of a line wherever it lives —
 // the L1 or, under victim replication, the local L2 replica — returning
-// the removed line. It panics if neither holds the line (the directory's
-// sharer bookkeeping is exact).
-func (s *Simulator) invalidateTileCopy(tile int, la mem.Addr) cache.Line {
+// the removed line. It reports failure instead of panicking so the sharded
+// engine's relaxed mode can tolerate copies displaced by deferred
+// evictions; sequential callers treat false as a protocol invariant
+// violation (the directory's sharer bookkeeping is exact there).
+func (s *Simulator) invalidateTileCopy(tile int, la mem.Addr) (cache.Line, bool) {
 	if line, ok := s.tiles[tile].l1d.Invalidate(la); ok {
-		return line
+		return line, true
 	}
 	if s.cfg.VictimReplication {
 		l2 := s.tiles[tile].l2
 		if rl := l2.Probe(la); rl != nil && rl.State == lineReplica {
 			line, _ := l2.Invalidate(la)
-			return line
+			return line, true
 		}
 	}
-	panic(fmt.Sprintf("sim: invalidation of absent line %#x at tile %d", la, tile))
+	return cache.Line{}, false
 }
