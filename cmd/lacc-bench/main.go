@@ -24,6 +24,7 @@ import (
 
 	"lacc/internal/experiments"
 	"lacc/internal/sim"
+	"lacc/internal/store"
 	"lacc/internal/workloads"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		timing    = flag.Bool("time", true, "report wall-clock time per experiment")
 		jsonOut   = flag.Bool("json", false, "benchcore: emit results as JSON to stdout")
 		checkFile = flag.String("check-bench", "", "benchcore: compare allocs/op against this baseline JSON, exit nonzero on >20% regression")
+		storeDir  = flag.String("store-dir", "", "persist simulation results to this directory and reuse them across invocations")
 		spillDir  = flag.String("corpus-spill", "", "spill materialized traces above -corpus-spill-min accesses to this directory (for large -scale runs)")
 		spillMin  = flag.Uint64("corpus-spill-min", 8<<20, "minimum corpus size in accesses before spilling to -corpus-spill")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
@@ -101,6 +103,22 @@ func main() {
 
 	// One session for the whole invocation: experiments share simulation
 	// results (figures 8-11 share most PCT points) and pooled simulators.
+	// With -store-dir the session also reads and writes a durable result
+	// store, so re-running the same figures costs decode time, not
+	// simulation time — even across invocations.
+	session := experiments.NewSession()
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir})
+		if err != nil {
+			fatal(fmt.Errorf("-store-dir: %w", err))
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lacc-bench: closing result store:", err)
+			}
+		}()
+		session = experiments.NewSessionWithStore(st, nil)
+	}
 	opts := experiments.Options{
 		Cores:       *cores,
 		MeshWidth:   *meshWidth,
@@ -108,7 +126,7 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		Shards:      *shards,
-		Session:     experiments.NewSession(),
+		Session:     session,
 	}
 	if *shards < 0 {
 		fatal(fmt.Errorf("-shards %d is negative", *shards))

@@ -8,6 +8,7 @@
 //	lacc-serve [flags]
 //
 //	lacc-serve -addr :8080 -max-inflight 4 -max-queue 128
+//	lacc-serve -store-dir /var/lib/lacc -store-max-bytes 268435456
 //	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/run -d '{"workload":"streamcluster","cores":16,"scale":0.1}'
 //	curl -s localhost:8080/v1/experiments/pct-sweep -d '{"cores":16,"scale":0.1,"pcts":[1,2,4]}'
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"lacc/internal/server"
+	"lacc/internal/store"
 	"lacc/internal/workloads"
 )
 
@@ -43,6 +45,9 @@ func main() {
 		maxScale    = flag.Float64("max-scale", 8, "largest problem-size multiplier a request may ask for")
 		spillDir    = flag.String("corpus-spill", "", "spill materialized traces above -corpus-spill-min accesses to this directory")
 		spillMin    = flag.Uint64("corpus-spill-min", 8<<20, "minimum corpus size in accesses before spilling to -corpus-spill")
+		storeDir    = flag.String("store-dir", "", "persist experiment results to this directory (restart-warm serving)")
+		storeMax    = flag.Int64("store-max-bytes", 0, "evict oldest result segments above this on-disk footprint (0 = unbounded)")
+		maxRunSecs  = flag.Float64("max-run-seconds", 0, "cancel any experiment execution exceeding this wall-clock budget with 503 (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -56,12 +61,31 @@ func main() {
 		}
 	}
 
+	// The durable tier is optional: without -store-dir the server runs
+	// memory-only exactly as before. With it, results survive restarts —
+	// a recovered store answers previously computed sweeps from disk with
+	// zero re-simulation.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMax, Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("lacc-serve: -store-dir: %v", err)
+		}
+		sst := st.Stats()
+		log.Printf("lacc-serve: result store %s: %d entries in %d segments (%d bytes); recovery: %s",
+			*storeDir, sst.Entries, sst.Segments, sst.Bytes, sst.LastRecovery)
+	}
+
 	h := server.New(server.Config{
 		MaxInFlight: *maxInflight,
 		MaxQueue:    *maxQueue,
 		Parallelism: *parallel,
 		MaxCores:    *maxCores,
 		MaxScale:    *maxScale,
+		Store:       st,
+		MaxRunTime:  time.Duration(*maxRunSecs * float64(time.Second)),
+		Logf:        log.Printf,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -95,5 +119,12 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("lacc-serve: %v", err)
+	}
+	// Close the store only after the listener has fully drained: write-behind
+	// happens inside request handling, so nothing can race this final seal.
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("lacc-serve: closing result store: %v", err)
+		}
 	}
 }

@@ -24,6 +24,17 @@ func NewExperimentSession() *ExperimentSession {
 	return experiments.NewSession()
 }
 
+// NewExperimentSessionWithStore returns an empty session whose misses
+// also consult (and whose fresh results also populate) a durable
+// ResultStore, making repeated experiments restart-warm: a result
+// computed by any previous process over the same store directory is
+// decoded from disk instead of re-simulated. store may be nil (plain
+// in-memory session) and logf may be nil (silent); the session never
+// closes the store — its owner does.
+func NewExperimentSessionWithStore(store *ResultStore, logf func(format string, args ...any)) *ExperimentSession {
+	return experiments.NewSessionWithStore(store, logf)
+}
+
 // PCTSweep holds one simulation per (benchmark, PCT) — the data behind
 // Figures 8, 9, 10 and 11. Render the individual figures with RenderFig8,
 // RenderFig9, RenderFig10 and Fig11().Render.

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"lacc/internal/sim"
+	"lacc/internal/store"
+)
+
+// The durable tier: a Session constructed with NewSessionWithStore checks
+// a crash-safe on-disk result store between its in-memory cache and the
+// simulator (read-through) and appends every freshly simulated result to
+// it after publication (write-behind). The store is a cache below a cache:
+// all of its failure modes — open errors, torn segments, checksum
+// mismatches, full disks — degrade to recomputation and are never
+// surfaced to experiment callers.
+//
+// Single-flight is preserved across tiers because only the goroutine that
+// claimed a fingerprint's entry consults the disk; everyone else waits on
+// the entry exactly as before.
+
+// fingerprint is the canonical-JSON identity hashed into a store key. It
+// carries everything runKey carries plus two guards: a format tag (bump to
+// orphan every existing record) and the reflected shape of sim.Result, so
+// any change to the result schema — a new field, a renamed one, a type
+// change — automatically invalidates stored records instead of decoding
+// them into the wrong shape.
+type fingerprint struct {
+	Format string     `json:"format"`
+	Bench  string     `json:"bench"`
+	Scale  float64    `json:"scale"`
+	Seed   uint64     `json:"seed"`
+	Config sim.Config `json:"config"`
+	Schema string     `json:"schema"`
+}
+
+// fingerprintFormat versions the key derivation itself.
+const fingerprintFormat = "lacc-result-v1"
+
+// resultSchema is the reflected shape of sim.Result, computed once.
+var resultSchema = schemaOf(reflect.TypeOf(sim.Result{}))
+
+// schemaOf renders a type's complete field structure as a deterministic
+// string: struct field names and types in declaration order, recursively.
+func schemaOf(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.Struct:
+		var b strings.Builder
+		b.WriteString(t.Name())
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			b.WriteString(f.Name)
+			b.WriteByte(':')
+			b.WriteString(schemaOf(f.Type))
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+		return b.String()
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		return t.Kind().String() + "[" + schemaOf(t.Elem()) + "]"
+	case reflect.Map:
+		return "map[" + schemaOf(t.Key()) + "]" + schemaOf(t.Elem())
+	default:
+		return t.Kind().String()
+	}
+}
+
+// storeKey derives k's content address: SHA-256 over the canonical JSON of
+// its fingerprint.
+func storeKey(k runKey) store.Key {
+	b, err := json.Marshal(fingerprint{
+		Format: fingerprintFormat,
+		Bench:  k.bench,
+		Scale:  k.scale,
+		Seed:   k.seed,
+		Config: k.cfg,
+		Schema: resultSchema,
+	})
+	if err != nil {
+		// sim.Config is a flat struct of scalars; marshaling cannot fail
+		// unless the type itself grows something unmarshalable, which the
+		// durable round-trip test would catch immediately.
+		panic(fmt.Sprintf("experiments: fingerprint marshal: %v", err))
+	}
+	return store.Key(sha256.Sum256(b))
+}
+
+// encodeResult renders a result as canonical JSON — the same form
+// lacc-serve's encoder produces (no HTML escaping, no indent), so bytes
+// served from disk are byte-identical to bytes computed directly.
+func encodeResult(r *sim.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
+}
+
+// decodeResult inverts encodeResult.
+func decodeResult(b []byte) (*sim.Result, error) {
+	r := new(sim.Result)
+	if err := json.Unmarshal(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadStored consults the disk tier for k. Only the goroutine owning k's
+// claimed entry calls this, so single-flight holds across tiers. Every
+// failure — no store, miss, undecodable record — degrades to "not found"
+// and the caller simulates.
+func (s *Session) loadStored(k runKey) (*sim.Result, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	val, ok := s.store.Get(storeKey(k))
+	if !ok {
+		return nil, false
+	}
+	res, err := decodeResult(val)
+	if err != nil {
+		// The record passed its checksum but does not parse — only possible
+		// across a schema change the fingerprint failed to capture. Recompute.
+		s.noteDiskError()
+		s.logf("experiments: stored result for %s undecodable (%v); recomputing", k.bench, err)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.diskHits++
+	s.mu.Unlock()
+	return res, true
+}
+
+// storeResult appends a freshly simulated result to the disk tier. Called
+// after the in-memory entry is published, so waiters never block on disk
+// I/O. Errors are absorbed: a failed write costs future disk hits for this
+// fingerprint, nothing else.
+func (s *Session) storeResult(k runKey, res *sim.Result) {
+	if s.store == nil {
+		return
+	}
+	b, err := encodeResult(res)
+	if err == nil {
+		err = s.store.Put(storeKey(k), b)
+	}
+	if err != nil {
+		s.noteDiskError()
+		s.logf("experiments: persisting result for %s: %v", k.bench, err)
+		return
+	}
+	s.mu.Lock()
+	s.diskWrites++
+	s.mu.Unlock()
+}
+
+// noteDiskError counts one absorbed durable-tier failure.
+func (s *Session) noteDiskError() {
+	s.mu.Lock()
+	s.diskErrors++
+	s.mu.Unlock()
+}
+
+// noteSimulated counts one simulation actually executed (as opposed to
+// served from memory or disk).
+func (s *Session) noteSimulated() {
+	s.mu.Lock()
+	s.simulated++
+	s.mu.Unlock()
+}

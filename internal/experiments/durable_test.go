@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"lacc/internal/store"
+)
+
+// durableOpts is a cheap sweep shape shared by the durable-tier tests.
+func durableOpts(sess *Session) Options {
+	return Options{
+		Cores:       8,
+		MeshWidth:   4,
+		Scale:       0.05,
+		Seed:        7,
+		Benchmarks:  []string{"radix", "matmul"},
+		Parallelism: 2,
+		Session:     sess,
+	}
+}
+
+// durablePCTs keeps the sweeps small: 2 benches x 2 PCTs = 4 simulations.
+var durablePCTs = []int{1, 5}
+
+// openStore opens a result store in a fresh directory for one test.
+func openStore(t *testing.T, dir string, opt store.Options) *store.Store {
+	t.Helper()
+	opt.Dir = dir
+	st, err := store.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRestartWarmAndByteIdentical is the PR's differential proof in
+// miniature: a sweep computed through a durable session, the same sweep
+// served from disk by a *different* session over a *reopened* store
+// (lacc-serve restarting), and the same sweep computed directly with no
+// store at all must all marshal to identical bytes — and the disk-served
+// run must execute zero simulations.
+func TestRestartWarmAndByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: compute and write behind.
+	st := openStore(t, dir, store.Options{})
+	sess1 := NewSessionWithStore(st, t.Logf)
+	r1, err := RunPCTSweep(durableOpts(sess1), durablePCTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := sess1.Stats()
+	if s1.Simulated != 4 || s1.DiskHits != 0 {
+		t.Fatalf("cold run: %+v, want 4 simulated, 0 disk hits", s1)
+	}
+	if s1.DiskWrites != 4 {
+		t.Fatalf("cold run wrote %d results behind, want 4", s1.DiskWrites)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a restarted process — new store handle, new session,
+	// cold memory, warm disk.
+	st2 := openStore(t, dir, store.Options{})
+	defer st2.Close()
+	sess2 := NewSessionWithStore(st2, t.Logf)
+	r2, err := RunPCTSweep(durableOpts(sess2), durablePCTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := sess2.Stats()
+	if s2.Simulated != 0 {
+		t.Fatalf("restart-warm run simulated %d times, want 0 (%+v)", s2.Simulated, s2)
+	}
+	if s2.DiskHits != 4 {
+		t.Fatalf("restart-warm run took %d disk hits, want 4 (%+v)", s2.DiskHits, s2)
+	}
+
+	// Control: the same sweep with no store anywhere near it.
+	direct, err := RunPCTSweep(durableOpts(NewSession()), durablePCTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	jd, _ := json.Marshal(direct)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("disk-served sweep differs from the run that wrote it")
+	}
+	if !bytes.Equal(j2, jd) {
+		t.Fatal("disk-served sweep differs from a direct computation")
+	}
+}
+
+// TestSchemaChangeInvalidatesStoredResults pins the fingerprint's schema
+// guard: records written under a different result schema must be
+// invisible, not decoded into the wrong shape.
+func TestSchemaChangeInvalidatesStoredResults(t *testing.T) {
+	if !strings.Contains(resultSchema, "Result{") {
+		t.Fatalf("reflected schema looks wrong: %q", resultSchema)
+	}
+	// Distinct fingerprint inputs must produce distinct keys.
+	o := durableOpts(nil).normalize()
+	base := runKey{bench: "radix", scale: o.Scale, seed: o.Seed, cfg: o.baseConfig()}
+	other := base
+	other.seed++
+	if storeKey(base) == storeKey(other) {
+		t.Fatal("seed change did not change the store key")
+	}
+	cfg := base
+	cfg.cfg.Protocol.PCT++
+	if storeKey(base) == storeKey(cfg) {
+		t.Fatal("config change did not change the store key")
+	}
+}
+
+// TestStoreFaultsNeverFailExperiments drives a durable session over a
+// filesystem that rejects every write after open: the sweep must succeed
+// by recomputation, with the failures visible only as counters.
+func TestStoreFaultsNeverFailExperiments(t *testing.T) {
+	var failing bool
+	ffs := &store.FaultFS{Hook: func(op store.Op, path string) error {
+		if failing && op == store.OpWrite {
+			return errors.New("injected write error")
+		}
+		return nil
+	}}
+	st := openStore(t, t.TempDir(), store.Options{FS: ffs})
+	defer st.Close()
+	failing = true
+
+	sess := NewSessionWithStore(st, t.Logf)
+	if _, err := RunPCTSweep(durableOpts(sess), durablePCTs); err != nil {
+		t.Fatalf("experiment failed because its cache did: %v", err)
+	}
+	s := sess.Stats()
+	if s.Simulated != 4 {
+		t.Fatalf("simulated %d, want 4 (%+v)", s.Simulated, s)
+	}
+	if s.DiskWrites != 0 || s.DiskErrors != 4 {
+		t.Fatalf("want 0 writes and 4 absorbed errors, got %+v", s)
+	}
+}
+
+// TestPanicInSimulationBecomesError pins the panic-isolation contract: a
+// benchmark whose simulation panics fails its own batch with an error
+// (the process survives), the fingerprint is unpinned for retry, and the
+// same sweep succeeds once the fault clears.
+func TestPanicInSimulationBecomesError(t *testing.T) {
+	SetSimFault(func(bench string) {
+		if bench == "radix" {
+			panic("injected simulation panic")
+		}
+	})
+	defer SetSimFault(nil)
+
+	sess := NewSession()
+	_, err := RunPCTSweep(durableOpts(sess), durablePCTs)
+	if err == nil {
+		t.Fatal("sweep over a panicking benchmark reported success")
+	}
+	if !strings.Contains(err.Error(), "panic in radix") {
+		t.Fatalf("panic not surfaced as a typed error: %v", err)
+	}
+
+	// Clear the fault: the same session retries the poisoned fingerprints
+	// instead of replaying the failure.
+	SetSimFault(nil)
+	if _, err := RunPCTSweep(durableOpts(sess), durablePCTs); err != nil {
+		t.Fatalf("sweep after fault cleared: %v", err)
+	}
+}

@@ -184,6 +184,25 @@ var errAborted = errors.New("aborted after earlier failure")
 // counts, executed-job counts) without timing races.
 var testJobDone func()
 
+// simFault, when armed via SetSimFault, runs before every simulation with
+// the job's benchmark name. Fault-injection tests use it to make chosen
+// simulations panic or block, proving the recovery paths (resolve's
+// recover, the server's panic middleware, deadline cancellation) against
+// real in-flight work. The workloads registry is sealed, so this hook is
+// the supported way to plant a misbehaving "benchmark".
+var simFault atomic.Pointer[func(bench string)]
+
+// SetSimFault arms (or, with nil, disarms) the simulation fault hook. Test
+// use only; the hook is deliberately outside Options so it cannot perturb
+// fingerprints.
+func SetSimFault(f func(bench string)) {
+	if f == nil {
+		simFault.Store(nil)
+		return
+	}
+	simFault.Store(&f)
+}
+
 // workItem is one claimed simulation a worker must perform.
 type workItem struct {
 	key   runKey
@@ -258,10 +277,11 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 				defer wg.Done()
 				worker := sess.getSim()
 				for it := range queue {
+					var fresh bool
 					if failed.Load() || ctx.Err() != nil {
 						it.entry.err = errAborted
 					} else {
-						it.entry.res, it.entry.err = o.runOne(&worker, it.job)
+						fresh = o.resolve(sess, &worker, it.key, it.job, it.entry)
 					}
 					if it.entry.err != nil {
 						failed.Store(true)
@@ -273,6 +293,11 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 						sess.forget(it.key)
 					}
 					close(it.entry.ready)
+					// Write-behind after publication: waiters never block
+					// on the durable tier's I/O.
+					if fresh {
+						sess.storeResult(it.key, it.entry.res)
+					}
 					if h := testJobDone; h != nil {
 						h()
 					}
@@ -315,7 +340,7 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 			ne, own := sess.claim(k)
 			if own {
 				worker := sess.getSim()
-				ne.res, ne.err = o.runOne(&worker, j)
+				fresh := o.resolve(sess, &worker, k, j, ne)
 				if ne.err != nil {
 					sess.forget(k)
 				}
@@ -323,6 +348,9 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 					sess.putSim(worker)
 				}
 				close(ne.ready)
+				if fresh {
+					sess.storeResult(k, ne.res)
+				}
 				claimed[k] = true
 			}
 			select {
@@ -358,6 +386,42 @@ func (o Options) runJobs(jobs []job) (map[string]map[string]*sim.Result, error) 
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// resolve computes the result for a fingerprint this goroutine owns (it
+// claimed the entry), consulting the session's durable tier before paying
+// for a simulation. It reports whether a simulation actually ran — the
+// caller write-behinds fresh results to disk after closing e.ready. The
+// simulation is panic-isolated: a panicking workload generator or
+// simulator becomes an error on the entry (and the possibly-corrupt
+// worker simulator is discarded rather than pooled), so one poisoned job
+// fails its batch instead of the process — lacc-serve turns that into a
+// 500 for one request while every other request keeps running.
+func (o Options) resolve(sess *Session, worker **sim.Simulator, k runKey, j job, e *runEntry) (fresh bool) {
+	if res, ok := sess.loadStored(k); ok {
+		e.res = res
+		return false
+	}
+	sess.noteSimulated()
+	e.res, e.err = o.runOneSafe(worker, j)
+	return e.err == nil
+}
+
+// runOneSafe runs one simulation with panic recovery, counting it against
+// the session and invoking the fault hook first when armed.
+func (o Options) runOneSafe(worker **sim.Simulator, j job) (res *sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			// The simulator may have been abandoned mid-run; its state is
+			// not trustworthy enough to Reset, let alone to pool.
+			*worker = nil
+			res, err = nil, fmt.Errorf("panic in %s simulation: %v", j.bench, p)
+		}
+	}()
+	if f := simFault.Load(); f != nil {
+		(*f)(j.bench)
+	}
+	return o.runOne(worker, j)
 }
 
 // runOne simulates one job on the worker's simulator, constructing it on

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"lacc/internal/sim"
+	"lacc/internal/store"
 )
 
 // runKey fingerprints one simulation: the benchmark, the workload spec
@@ -42,16 +43,47 @@ type Session struct {
 	mu   sync.Mutex
 	runs map[runKey]*runEntry
 
+	// store, when non-nil, is the durable tier below the in-memory cache:
+	// read-through before simulating, write-behind after publishing. See
+	// durable.go.
+	store *store.Store
+	logf  func(format string, args ...any)
+
 	// Cache-effectiveness counters (see SessionStats).
-	hits      uint64
-	coalesced uint64
-	misses    uint64
+	hits       uint64
+	coalesced  uint64
+	misses     uint64
+	simulated  uint64
+	diskHits   uint64
+	diskWrites uint64
+	diskErrors uint64
 }
 
-// NewSession returns an empty session.
+// NewSession returns an empty session with no durable tier.
 func NewSession() *Session {
-	return &Session{runs: map[runKey]*runEntry{}}
+	return NewSessionWithStore(nil, nil)
 }
+
+// NewSessionWithStore returns an empty session backed by st as its durable
+// tier: fingerprints missing from memory are looked up on disk before
+// simulating, and freshly simulated results are appended to the store
+// after they are published to in-memory waiters. st may be nil (no durable
+// tier — identical to NewSession). logf, when non-nil, receives one line
+// per absorbed durable-tier failure; nil discards them.
+//
+// The session never owns the store: several sessions may share one store
+// (lacc-serve's flush endpoint replaces the session but keeps the store,
+// which is exactly the restart-warm semantics — memory cold, disk warm),
+// and closing the store is the caller's job.
+func NewSessionWithStore(st *store.Store, logf func(format string, args ...any)) *Session {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Session{runs: map[runKey]*runEntry{}, store: st, logf: logf}
+}
+
+// Store returns the session's durable tier, nil when it has none.
+func (s *Session) Store() *store.Store { return s.store }
 
 // SessionStats is a snapshot of a session's cache-effectiveness counters.
 // All counts are claims, i.e. distinct fingerprints a batch resolved
@@ -69,6 +101,20 @@ type SessionStats struct {
 	// session actually scheduled. Failed or abandoned runs are unpinned
 	// and re-claimed on retry, so a fingerprint can miss more than once.
 	Misses uint64 `json:"misses"`
+	// Simulated counts simulations actually executed: claims that missed
+	// both the memory and the disk tier. With a durable tier, Misses -
+	// DiskHits = Simulated (modulo retries); a restart-warm server proves
+	// itself by serving a repeated sweep with Simulated still zero.
+	Simulated uint64 `json:"simulated"`
+	// DiskHits counts claims satisfied by the durable tier (a stored
+	// result decoded instead of simulating); DiskWrites counts results
+	// appended to it. Both stay zero for sessions without a store.
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskWrites uint64 `json:"disk_writes"`
+	// DiskErrors counts absorbed durable-tier failures (undecodable
+	// records, failed appends); each one degraded to recomputation or a
+	// lost write-behind, never to a failed experiment.
+	DiskErrors uint64 `json:"disk_errors"`
 	// Entries is the number of results currently memoized (in flight or
 	// complete).
 	Entries int `json:"entries"`
@@ -79,10 +125,14 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionStats{
-		Hits:      s.hits,
-		Coalesced: s.coalesced,
-		Misses:    s.misses,
-		Entries:   len(s.runs),
+		Hits:       s.hits,
+		Coalesced:  s.coalesced,
+		Misses:     s.misses,
+		Simulated:  s.simulated,
+		DiskHits:   s.diskHits,
+		DiskWrites: s.diskWrites,
+		DiskErrors: s.diskErrors,
+		Entries:    len(s.runs),
 	}
 }
 

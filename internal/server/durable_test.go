@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lacc/internal/experiments"
+	"lacc/internal/server"
+	"lacc/internal/store"
+)
+
+// sweepBody is the small sweep the durable-server tests replay: 2 benches
+// x 2 PCTs = 4 simulations.
+func sweepBody() string {
+	return fmt.Sprintf(`{"cores":%d,"scale":%g,"benchmarks":["matmul","dfs"],"pcts":[1,4]}`, testCores, testScale)
+}
+
+// statsOf fetches and decodes /v1/stats.
+func statsOf(t *testing.T, ts *httptest.Server) server.Stats {
+	t.Helper()
+	status, body := get(t, ts, "/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	var st server.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return st
+}
+
+// TestRestartWarmServer is the tentpole's acceptance proof: a server is
+// started over a store directory, computes a sweep, and is "restarted"
+// (new store handle, new server, cold memory). The restarted server must
+// answer the same sweep byte-identically with zero simulations — every
+// result decoded from disk — and say so in its counters.
+func TestRestartWarmServer(t *testing.T) {
+	dir := t.TempDir()
+
+	st1, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 2, Store: st1})
+	status, body1 := post(t, ts1, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("first life: %d %s", status, body1)
+	}
+	s1 := statsOf(t, ts1)
+	if s1.Session.Simulated != 4 || s1.Session.DiskWrites != 4 {
+		t.Fatalf("first life session: %+v, want 4 simulated and 4 written behind", s1.Session)
+	}
+	if s1.Store == nil || s1.Store.Entries != 4 {
+		t.Fatalf("first life store stats: %+v, want 4 entries", s1.Store)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: everything rebuilt from the directory.
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts2 := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 2, Store: st2})
+	status, body2 := post(t, ts2, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("second life: %d %s", status, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("restarted server served different bytes\nfirst:  %.200s\nsecond: %.200s", body1, body2)
+	}
+	s2 := statsOf(t, ts2)
+	if s2.Session.Simulated != 0 {
+		t.Fatalf("restarted server simulated %d times, want 0 (%+v)", s2.Session.Simulated, s2.Session)
+	}
+	if s2.Session.DiskHits != 4 {
+		t.Fatalf("restarted server took %d disk hits, want 4 (%+v)", s2.Session.DiskHits, s2.Session)
+	}
+
+	// And the health endpoint reports the durable tier.
+	status, hb := get(t, ts2, "/v1/healthz")
+	if status != http.StatusOK || !bytes.Contains(hb, []byte(`"durable"`)) {
+		t.Fatalf("healthz of a store-backed server: %d %s", status, hb)
+	}
+}
+
+// TestHealthzWithoutStore pins the disabled mode for store-less servers.
+func TestHealthzWithoutStore(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	status, body := get(t, ts, "/v1/healthz")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"disabled"`)) {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+}
+
+// TestFlushKeepsDiskWarm pins the flush semantics with a durable tier:
+// flushing drops the in-memory cache but keeps the store, so a repeated
+// sweep is served from disk — exactly restart-warm, without the restart.
+func TestFlushKeepsDiskWarm(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 2, Store: st})
+
+	status, body1 := post(t, ts, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("sweep: %d %s", status, body1)
+	}
+	if status, body := post(t, ts, "/v1/admin/flush", ""); status != http.StatusOK {
+		t.Fatalf("flush: %d %s", status, body)
+	}
+	status, body2 := post(t, ts, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("sweep after flush: %d %s", status, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("flushed server served different bytes from disk")
+	}
+	s := statsOf(t, ts)
+	if s.Session.Simulated != 0 || s.Session.DiskHits != 4 {
+		t.Fatalf("post-flush session %+v, want 0 simulated and 4 disk hits", s.Session)
+	}
+}
+
+// TestPanicInExperimentReturns500 injects a panic into a running
+// simulation and requires a canonical 500 JSON error — and a server that
+// is still alive and serving afterwards.
+func TestPanicInExperimentReturns500(t *testing.T) {
+	experiments.SetSimFault(func(bench string) {
+		if bench == "dfs" {
+			panic("injected simulation panic")
+		}
+	})
+	defer experiments.SetSimFault(nil)
+
+	ts := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 2})
+	status, body := post(t, ts, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte("panic in dfs")) {
+		t.Fatalf("panic not surfaced in the error body: %s", body)
+	}
+
+	// The process survived; an untouched benchmark still serves.
+	experiments.SetSimFault(nil)
+	status, body = post(t, ts, "/v1/run",
+		fmt.Sprintf(`{"workload":"matmul","cores":%d,"scale":%g}`, testCores, testScale))
+	if status != http.StatusOK {
+		t.Fatalf("server not serving after a recovered panic: %d %s", status, body)
+	}
+}
+
+// slowFault arms a simulation fault that sleeps long enough for a short
+// MaxRunTime to expire mid-batch.
+func slowFault(t *testing.T, d time.Duration) {
+	t.Helper()
+	experiments.SetSimFault(func(string) { time.Sleep(d) })
+	t.Cleanup(func() { experiments.SetSimFault(nil) })
+}
+
+// TestMaxRunTimeJSON pins the deadline contract for plain clients: an
+// over-budget sweep is canceled server-side and answered 503 with the
+// stable "timeout" code.
+func TestMaxRunTimeJSON(t *testing.T) {
+	slowFault(t, 300*time.Millisecond)
+	ts := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 1,
+		MaxRunTime: 30 * time.Millisecond})
+
+	status, body := post(t, ts, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", status, body)
+	}
+	var e struct{ Error, Code string }
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("non-JSON error body %q: %v", body, err)
+	}
+	if e.Code != "timeout" {
+		t.Fatalf("error code %q, want timeout (%s)", e.Code, body)
+	}
+	s := statsOf(t, ts)
+	if s.Timeouts != 1 {
+		t.Fatalf("timeouts counter %d, want 1", s.Timeouts)
+	}
+}
+
+// TestMaxRunTimeSSE pins the same deadline for streaming clients: the
+// stream ends with a terminal error event carrying the timeout code.
+func TestMaxRunTimeSSE(t *testing.T) {
+	slowFault(t, 300*time.Millisecond)
+	ts := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 1,
+		MaxRunTime: 30 * time.Millisecond})
+
+	resp, err := http.Post(ts.URL+"/v1/experiments/pct-sweep?stream=sse",
+		"application/json", strings.NewReader(sweepBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := parseSSE(t, string(raw))
+	if len(events) == 0 {
+		t.Fatalf("no events in %q", raw)
+	}
+	last := events[len(events)-1]
+	if last.name != "error" {
+		t.Fatalf("final event %q, want error (%q)", last.name, raw)
+	}
+	var e struct{ Error, Code string }
+	if err := json.Unmarshal([]byte(last.data), &e); err != nil {
+		t.Fatalf("bad error payload %q: %v", last.data, err)
+	}
+	if e.Code != "timeout" {
+		t.Fatalf("error code %q, want timeout (%s)", e.Code, last.data)
+	}
+}

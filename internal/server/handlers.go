@@ -11,6 +11,7 @@ import (
 
 	"lacc/internal/experiments"
 	"lacc/internal/sim"
+	"lacc/internal/store"
 	"lacc/internal/workloads"
 )
 
@@ -199,16 +200,45 @@ func (s *Server) execute(ctx context.Context, q *Request, exec execFunc, format 
 	return s.executeAdmitted(ctx, q, exec, format, progress)
 }
 
+// errRunTimeout is the typed error for executions canceled by
+// Config.MaxRunTime: 503 (the request was valid; this server's budget was
+// not enough) with a stable "timeout" code. It doubles as the timeout
+// context's cancellation cause, which is how the deadline is told apart
+// from an ordinary client disconnect.
+var errRunTimeout = &apiError{status: http.StatusServiceUnavailable, code: "timeout",
+	msg: "experiment exceeded the server's max run time and was canceled"}
+
 // executeAdmitted is execute's body once an admission token is held (the
 // SSE path acquires before committing its response status, so a
-// saturated server can still answer 429).
-func (s *Server) executeAdmitted(ctx context.Context, q *Request, exec execFunc, format string, progress func(done, total int)) (*response, error) {
+// saturated server can still answer 429). It applies the server's
+// per-execution deadline and recovers executor panics into errors — the
+// recovery must happen at this level, below single-flight, so a panicked
+// leader still publishes an outcome to its coalesced waiters instead of
+// leaving them blocked on a call that will never finish.
+func (s *Server) executeAdmitted(ctx context.Context, q *Request, exec execFunc, format string, progress func(done, total int)) (resp *response, err error) {
 	s.stats.executed.Add(1)
+	if s.cfg.MaxRunTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.MaxRunTime, errRunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.stats.panics.Add(1)
+			s.cfg.Logf("server: panic executing experiment: %v", p)
+			resp, err = nil, &apiError{status: http.StatusInternalServerError,
+				code: "panic", msg: fmt.Sprintf("internal error (experiment execution panicked: %v)", p)}
+		}
+	}()
 	o := s.requestOptions(ctx, q)
 	o.Progress = progress
 	v, err := exec(ctx, s, q, o)
 	if err != nil {
 		if ctx.Err() != nil {
+			if errors.Is(context.Cause(ctx), errRunTimeout) {
+				s.stats.timeouts.Add(1)
+				return nil, errRunTimeout
+			}
 			s.stats.canceledByCtx.Add(1)
 		}
 		return nil, err
@@ -271,14 +301,69 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	body, _ := json.Marshal(errorPayload(err))
 	w.Write(append(body, '\n'))
 }
 
-// handleHealthz reports liveness.
+// errorPayload is the canonical error body, shared by plain JSON responses
+// and terminal SSE error events: always an "error" message, plus a stable
+// "code" when the error carries one (timeout, panic).
+func errorPayload(err error) map[string]string {
+	p := map[string]string{"error": err.Error()}
+	var ae *apiError
+	if errors.As(err, &ae) && ae.code != "" {
+		p["code"] = ae.code
+	}
+	return p
+}
+
+// StoreHealth is the durable-tier section of /v1/healthz.
+type StoreHealth struct {
+	// Mode is "disabled" (no store configured), "durable" (store healthy)
+	// or "degraded" (the store absorbed failures — quarantined segments,
+	// I/O errors, checksum mismatches — and the affected results recompute
+	// on demand; the server keeps serving either way).
+	Mode string `json:"mode"`
+	// Segments, Bytes and Entries describe the current footprint.
+	Segments int   `json:"segments,omitempty"`
+	Bytes    int64 `json:"bytes,omitempty"`
+	Entries  int   `json:"entries,omitempty"`
+	// Quarantined counts segments set aside by recovery; LastRecovery is
+	// the last Open scan's one-line outcome.
+	Quarantined  uint64 `json:"quarantined,omitempty"`
+	LastRecovery string `json:"last_recovery,omitempty"`
+}
+
+// storeHealth snapshots the current session's durable tier.
+func (s *Server) storeHealth() StoreHealth {
+	st := s.session.Load().Store()
+	if st == nil {
+		return StoreHealth{Mode: "disabled"}
+	}
+	mode := "durable"
+	if !st.Healthy() {
+		mode = "degraded"
+	}
+	sst := st.Stats()
+	return StoreHealth{
+		Mode:         mode,
+		Segments:     sst.Segments,
+		Bytes:        sst.Bytes,
+		Entries:      sst.Entries,
+		Quarantined:  sst.Quarantined,
+		LastRecovery: sst.LastRecovery,
+	}
+}
+
+// handleHealthz reports liveness plus the durable tier's mode. A degraded
+// store does not fail the health check — the server serves through it by
+// recomputing — but the mode flips to "degraded" so operators see it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"store":  s.storeHealth(),
+	})
 }
 
 // WorkloadInfo is one /v1/workloads catalog entry (Table 2).
@@ -334,6 +419,13 @@ type Stats struct {
 	SSEStreams uint64 `json:"sse_streams"`
 	// Flushes counts admin cache flushes.
 	Flushes uint64 `json:"flushes"`
+	// Timeouts counts executions canceled by the server's MaxRunTime
+	// budget (each answered 503 with code "timeout").
+	Timeouts uint64 `json:"timeouts"`
+	// Panics counts handler or executor panics recovered into 500s; any
+	// nonzero value is a bug worth a report, but none of them killed the
+	// process.
+	Panics uint64 `json:"panics"`
 
 	// InFlight is the number of executions holding an admission slot now;
 	// PeakInFlight is its lifetime high-water mark and never exceeds
@@ -348,6 +440,9 @@ type Stats struct {
 
 	// Session is the shared result cache's hit/coalesce/miss snapshot.
 	Session experiments.SessionStats `json:"session"`
+	// Store is the durable result store's full snapshot (segments, bytes,
+	// hits, recovery outcome); nil when serving without one.
+	Store *store.Stats `json:"store,omitempty"`
 	// CorpusBuilds counts workload trace generations process-wide (each
 	// distinct (benchmark, cores, scale, seed) builds once).
 	CorpusBuilds uint64 `json:"corpus_builds"`
@@ -355,6 +450,11 @@ type Stats struct {
 
 // snapshotStats collects the current Stats.
 func (s *Server) snapshotStats() Stats {
+	var storeStats *store.Stats
+	if st := s.session.Load().Store(); st != nil {
+		sst := st.Stats()
+		storeStats = &sst
+	}
 	return Stats{
 		Requests:          s.stats.requests.Load(),
 		CoalescedRequests: s.stats.coalesced.Load(),
@@ -364,12 +464,15 @@ func (s *Server) snapshotStats() Stats {
 		CanceledByClient:  s.stats.canceledByCtx.Load(),
 		SSEStreams:        s.stats.sseStreams.Load(),
 		Flushes:           s.stats.flushes.Load(),
+		Timeouts:          s.stats.timeouts.Load(),
+		Panics:            s.stats.panics.Load(),
 		InFlight:          s.stats.inFlight.Load(),
 		PeakInFlight:      s.stats.peakInFlight.Load(),
 		Queued:            s.queued.Load(),
 		MaxInFlight:       s.cfg.MaxInFlight,
 		MaxQueue:          s.cfg.MaxQueue,
 		Session:           s.session.Load().Stats(),
+		Store:             storeStats,
 		CorpusBuilds:      workloads.CorpusBuilds(),
 	}
 }
@@ -382,12 +485,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleFlush drops the session result cache (in-flight batches keep the
 // session they started with) and the process-wide corpus cache, bounding
-// memory on a long-lived server. The response reports the stats snapshot
-// taken just before the flush.
+// memory on a long-lived server. The durable tier is deliberately kept:
+// the replacement session attaches to the same store, so a flush leaves
+// the server exactly restart-warm — memory cold, disk hot — and repeating
+// a flushed sweep re-decodes results instead of re-simulating them. The
+// response reports the stats snapshot taken just before the flush.
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	before := s.snapshotStats()
-	s.session.Store(experiments.NewSession())
+	s.session.Store(experiments.NewSessionWithStore(s.session.Load().Store(), s.cfg.Logf))
 	workloads.FlushCorpora()
 	s.stats.flushes.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"flushed": true, "before": before})

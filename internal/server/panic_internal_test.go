@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lacc/internal/experiments"
+)
+
+// TestServeHTTPPanicBarrier drives a panic through the outermost barrier:
+// a handler that panics before any experiment machinery is involved must
+// come back as a canonical 500 JSON error with the "panic" code, and the
+// counter must record it.
+func TestServeHTTPPanicBarrier(t *testing.T) {
+	s := New(Config{})
+	s.mux.HandleFunc("GET /v1/test-panic", func(http.ResponseWriter, *http.Request) {
+		panic("handler boom")
+	})
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/test-panic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, `"code":"panic"`) {
+		t.Fatalf("body %q lacks the panic code", body)
+	}
+	if got := s.stats.panics.Load(); got != 1 {
+		t.Fatalf("panics counter %d, want 1", got)
+	}
+
+	// The barrier recovered; the next request is served normally.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after recovered panic: %d", rec.Code)
+	}
+}
+
+// TestExecuteAdmittedPanicBarrier pins the mid-level barrier: an executor
+// that panics becomes an apiError (so single-flight still publishes an
+// outcome to coalesced waiters) rather than unwinding through the
+// handler.
+func TestExecuteAdmittedPanicBarrier(t *testing.T) {
+	s := New(Config{})
+	q := &Request{Cores: 4, Scale: 0.05}
+	boom := func(context.Context, *Server, *Request, experiments.Options) (any, error) {
+		panic("executor boom")
+	}
+	_, err := s.executeAdmitted(context.Background(), q, boom, "", nil)
+	if err == nil {
+		t.Fatal("panicking executor reported success")
+	}
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.code != "panic" || ae.status != http.StatusInternalServerError {
+		t.Fatalf("panic surfaced as %#v, want a 500 apiError with code panic", err)
+	}
+	if got := s.stats.panics.Load(); got != 1 {
+		t.Fatalf("panics counter %d, want 1", got)
+	}
+}

@@ -129,9 +129,12 @@ func (ov *ConfigOverrides) apply(cfg *sim.Config) {
 }
 
 // apiError is an error with an HTTP status. Every handler failure is one;
-// anything else is reported as a 500.
+// anything else is reported as a 500. code, when non-empty, is a stable
+// machine-readable discriminator rendered alongside the message ("timeout",
+// "panic"), so clients branch on it instead of parsing English.
 type apiError struct {
 	status int
+	code   string
 	msg    string
 }
 

@@ -39,8 +39,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lacc/internal/experiments"
+	"lacc/internal/store"
 )
 
 // Config parameterizes the service. The zero value serves with sensible
@@ -69,6 +71,24 @@ type Config struct {
 	// MaxScale caps the per-request problem-size multiplier (trace length
 	// and corpus memory grow with scale). <= 0 means 8.
 	MaxScale float64
+
+	// Store, when non-nil, is the crash-safe durable result tier: the
+	// default session is built over it (read-through before simulating,
+	// write-behind after), admin flushes replace the session but keep the
+	// store, and /v1/stats and /v1/healthz report its health. The server
+	// never closes the store; the owning process does, after
+	// http.Server.Shutdown. Ignored when an explicit Session is supplied
+	// (attach the store to that session instead).
+	Store *store.Store
+	// MaxRunTime bounds one experiment execution's wall clock after
+	// admission: an execution exceeding it is canceled through the
+	// experiment layer's context and answered with 503 and error code
+	// "timeout", so one oversized sweep cannot pin an execution slot
+	// forever. <= 0 means unlimited.
+	MaxRunTime time.Duration
+	// Logf, when non-nil, receives one line per absorbed durable-tier
+	// failure and recovered panic. Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Defaults for the zero Config.
@@ -81,8 +101,11 @@ const (
 
 // normalize applies the documented defaults.
 func (c Config) normalize() Config {
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	if c.Session == nil {
-		c.Session = experiments.NewSession()
+		c.Session = experiments.NewSessionWithStore(c.Store, c.Logf)
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = defaultMaxInFlight
@@ -152,6 +175,8 @@ type serverStats struct {
 	flushes       atomic.Uint64 // admin cache flushes
 	sseStreams    atomic.Uint64 // progress streams served
 	canceledByCtx atomic.Uint64 // executions abandoned by client disconnect
+	timeouts      atomic.Uint64 // executions canceled by MaxRunTime
+	panics        atomic.Uint64 // handler panics recovered into 500s
 }
 
 // New builds the service handler for cfg.
@@ -168,8 +193,25 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is also the outermost panic
+// barrier: a panic escaping any handler is recovered into a canonical 500
+// JSON error instead of net/http's default (which kills the connection
+// with an empty reply and a stack on stderr). Deeper layers have their own
+// barriers — executeAdmitted recovers executor panics so single-flight
+// waiters still get an answer, and the experiment worker pool recovers
+// simulation panics per job — so this one only catches panics in routing,
+// decoding and response writing.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.stats.panics.Add(1)
+			s.cfg.Logf("server: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+			// If the handler already committed its response this write is a
+			// no-op on the status line; the connection still dies cleanly.
+			s.writeError(w, &apiError{status: http.StatusInternalServerError,
+				code: "panic", msg: "internal error (handler panicked)"})
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 

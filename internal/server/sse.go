@@ -184,7 +184,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, q *Request, ex
 			return
 		}
 		s.stats.errors.Add(1)
-		sw.event("error", map[string]string{"error": err.Error()})
+		sw.event("error", errorPayload(err))
 		return
 	}
 	// The result event carries the identical canonical JSON object a

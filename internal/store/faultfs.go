@@ -1,0 +1,200 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Op names one filesystem operation class for fault injection.
+type Op string
+
+// The injectable operation classes.
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpReadAt   Op = "readat"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+	OpReadDir  Op = "readdir"
+	OpMkdirAll Op = "mkdirall"
+	OpStat     Op = "stat"
+)
+
+// FaultFS wraps another FS and injects failures, the I/O analogue of
+// sim.Faults (PR 6's closed-loop precedent): every failure mode the store
+// claims to survive is exercised through here by an injected-fault test
+// rather than asserted in prose.
+//
+// Two knobs compose:
+//
+//   - Hook, consulted before every operation with the op class and path;
+//     a non-nil return is injected as that operation's error (writes and
+//     reads perform nothing first).
+//   - TornWrites(n), which arms a byte budget: once cumulative written
+//     bytes would exceed the budget, the offending write persists only
+//     the bytes that fit and fails — exactly the torn-append shape a
+//     crash or a full disk leaves behind.
+//
+// The zero Hook / unarmed budget passes everything through. Safe for
+// concurrent use.
+type FaultFS struct {
+	// FS is the wrapped filesystem; nil means the real one.
+	FS FS
+	// Hook, when non-nil, may inject an error before any operation.
+	Hook func(op Op, path string) error
+
+	mu        sync.Mutex
+	tornArmed bool
+	tornLeft  int64
+}
+
+// TornWrites arms the torn-write budget: the next writes proceed until n
+// cumulative bytes, then persist partially and fail.
+func (f *FaultFS) TornWrites(n int64) {
+	f.mu.Lock()
+	f.tornArmed, f.tornLeft = true, n
+	f.mu.Unlock()
+}
+
+// DisarmTornWrites restores full writes.
+func (f *FaultFS) DisarmTornWrites() {
+	f.mu.Lock()
+	f.tornArmed = false
+	f.mu.Unlock()
+}
+
+// inner returns the wrapped FS.
+func (f *FaultFS) inner() FS {
+	if f.FS == nil {
+		return OSFS()
+	}
+	return f.FS
+}
+
+// inject consults the hook.
+func (f *FaultFS) inject(op Op, path string) error {
+	if f.Hook != nil {
+		return f.Hook(op, path)
+	}
+	return nil
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.inject(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.inject(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.inner().ReadDir(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.inject(OpRename, oldpath); err != nil {
+		return err
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.inject(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner().Remove(name)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.inject(OpTruncate, name); err != nil {
+		return err
+	}
+	return f.inner().Truncate(name, size)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if err := f.inject(OpMkdirAll, name); err != nil {
+		return err
+	}
+	return f.inner().MkdirAll(name, perm)
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err := f.inject(OpStat, name); err != nil {
+		return nil, err
+	}
+	return f.inner().Stat(name)
+}
+
+// faultFile threads per-file operations back through the wrapper.
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	path string
+}
+
+// Write implements File, honoring the torn-write budget.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if err := ff.fs.inject(OpWrite, ff.path); err != nil {
+		return 0, err
+	}
+	ff.fs.mu.Lock()
+	armed, left := ff.fs.tornArmed, ff.fs.tornLeft
+	if armed {
+		if int64(len(p)) <= left {
+			ff.fs.tornLeft -= int64(len(p))
+		} else {
+			ff.fs.tornLeft = 0
+		}
+	}
+	ff.fs.mu.Unlock()
+	if armed && int64(len(p)) > left {
+		n, _ := ff.f.Write(p[:left])
+		return n, errTorn
+	}
+	return ff.f.Write(p)
+}
+
+// errTorn marks a torn write injected by the budget.
+var errTorn = errors.New("store: injected torn write")
+
+// ReadAt implements File.
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.inject(OpReadAt, ff.path); err != nil {
+		return 0, err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+// Sync implements File.
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.inject(OpSync, ff.path); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+// Close implements File.
+func (ff *faultFile) Close() error {
+	if err := ff.fs.inject(OpClose, ff.path); err != nil {
+		return err
+	}
+	return ff.f.Close()
+}

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the store uses, factored into an interface
+// so the fault-injection wrapper (FaultFS) can stand between the store and
+// the real disk in tests. Production code always runs on osFS; the
+// indirection costs one interface dispatch per I/O operation, which is
+// noise next to the syscall behind it.
+type FS interface {
+	// OpenFile opens name with the given flags and permissions.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadDir lists the directory entries of name, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically moves oldpath to newpath (same directory here).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// Stat returns file metadata.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// File is the per-file surface the store needs: append writes on the
+// active segment, random reads everywhere, fsync for the durability
+// barriers.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable. Best effort: some filesystems (and the fault wrapper, when so
+// instructed) refuse to sync directories, and a lost directory sync
+// degrades to "the rename replays after the next crash", which recovery
+// handles anyway.
+func syncDir(fs FS, dir string) {
+	d, err := fs.OpenFile(filepath.Clean(dir), os.O_RDONLY, 0)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk format (all integers little-endian):
+//
+//	segment := header record*
+//	header  := "LACCSEG1"                      (8 bytes)
+//	record  := magic(u32) length(u32) crc(u32) payload
+//	payload := key(32 bytes) value(length-32 bytes)
+//
+// length is the payload size (key + value); crc is CRC-32C (Castagnoli)
+// over the payload. The per-record magic exists purely for recovery: a
+// length-prefixed stream cannot be re-synchronized after a corrupt frame
+// without a marker to search for, and the distinction between "corruption
+// followed by more valid data" (a bit-flip — quarantine the segment) and
+// "corruption extending to EOF" (a torn write — truncate the tail) is
+// exactly a search for a later valid frame.
+//
+// DESIGN.md ("Durable results") documents the format and the recovery
+// algorithm normatively.
+
+const (
+	segMagic = "LACCSEG1"
+
+	recMagic    = uint32(0x4C414343) // "LACC" read as LE bytes 43 43 41 4C
+	frameBytes  = 12                 // magic + length + crc
+	headerBytes = len(segMagic)
+
+	// KeySize is the content-address width: a SHA-256 fingerprint.
+	KeySize = 32
+
+	// maxRecordBytes bounds one payload. Real values are canonical-JSON
+	// simulation results (tens of KB to a few MB for large meshes); the
+	// bound exists so a corrupt length field cannot make recovery or Get
+	// attempt a absurd allocation.
+	maxRecordBytes = 64 << 20
+)
+
+// Key is a content-addressed record key: the SHA-256 fingerprint of the
+// canonical-JSON simulation identity (benchmark, workload spec, machine
+// configuration — see experiments' fingerprint derivation).
+type Key [KeySize]byte
+
+// String renders the key in hex for logs.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the framed record for (key, val) to dst.
+func appendFrame(dst []byte, key Key, val []byte) []byte {
+	payloadLen := KeySize + len(val)
+	var hdr [frameBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], recMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(payloadLen))
+	crc := crc32.Update(0, castagnoli, key[:])
+	crc = crc32.Update(crc, castagnoli, val)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, key[:]...)
+	return append(dst, val...)
+}
+
+// frameSize returns the on-disk size of a record holding a value of n
+// bytes.
+func frameSize(n int) int64 { return int64(frameBytes + KeySize + n) }
+
+// rec is one decoded record location within a segment buffer.
+type rec struct {
+	key    Key
+	off    int // frame start offset within the segment
+	valOff int // value start offset within the segment
+	valLen int
+}
+
+// decodeFrame decodes the record at buf[off:]. ok=false means the bytes at
+// off are not a complete, checksummed record: either a torn/corrupt frame
+// or a clean EOF (off == len(buf)).
+func decodeFrame(buf []byte, off int) (r rec, next int, ok bool) {
+	if off < 0 || off > len(buf)-frameBytes {
+		return rec{}, 0, false
+	}
+	if binary.LittleEndian.Uint32(buf[off:]) != recMagic {
+		return rec{}, 0, false
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(buf[off+4:]))
+	if payloadLen < KeySize || payloadLen > maxRecordBytes {
+		return rec{}, 0, false
+	}
+	end := off + frameBytes + payloadLen
+	if end < 0 || end > len(buf) {
+		return rec{}, 0, false
+	}
+	payload := buf[off+frameBytes : end]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[off+8:]) {
+		return rec{}, 0, false
+	}
+	r.off = off
+	copy(r.key[:], payload[:KeySize])
+	r.valOff = off + frameBytes + KeySize
+	r.valLen = payloadLen - KeySize
+	return r, end, true
+}
+
+// scanSegment walks a whole segment image and classifies it:
+//
+//   - recs: every intact record, in file order.
+//   - tail: the offset where intact data ends. tail == len(buf) means the
+//     segment parsed cleanly to EOF; anything shorter is a torn tail the
+//     store truncates away.
+//   - corrupt: a damaged frame is followed by at least one intact record,
+//     i.e. the damage sits in the middle of the file (a bit-flip, not a
+//     torn append). Such a segment cannot be trusted record-by-record —
+//     the intact-looking suffix may itself be displaced — so the store
+//     quarantines the whole file and recomputes its results on demand.
+//
+// A buffer without the segment header is corrupt unless it is a prefix of
+// the header (a segment torn before the header finished writing), which
+// reports tail 0.
+//
+// scanSegment never panics, whatever the input: it is the fuzzed surface
+// (FuzzScanSegment) behind crash recovery.
+func scanSegment(buf []byte) (recs []rec, tail int, corrupt bool) {
+	if len(buf) < headerBytes {
+		if string(buf) == segMagic[:len(buf)] {
+			return nil, 0, false // torn mid-header
+		}
+		return nil, 0, len(buf) > 0
+	}
+	if string(buf[:headerBytes]) != segMagic {
+		return nil, 0, true
+	}
+	off := headerBytes
+	for off < len(buf) {
+		r, next, ok := decodeFrame(buf, off)
+		if !ok {
+			if resync(buf, off) {
+				return recs, off, true
+			}
+			return recs, off, false
+		}
+		recs = append(recs, r)
+		off = next
+	}
+	return recs, off, false
+}
+
+// resync reports whether any intact record exists after a damaged frame at
+// off — the test separating mid-file corruption from a torn tail.
+func resync(buf []byte, off int) bool {
+	for i := off + 1; i <= len(buf)-frameBytes; i++ {
+		if binary.LittleEndian.Uint32(buf[i:]) != recMagic {
+			continue
+		}
+		if _, _, ok := decodeFrame(buf, i); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,797 @@
+// Package store implements a crash-safe, content-addressed, persistent
+// result store: the durable tier under experiments.Session that lets a
+// restarted (or freshly joined) lacc-serve replica serve previously
+// computed sweeps without re-simulating anything.
+//
+// Values are canonical-JSON simulation results keyed by the session's
+// (benchmark, workload spec, machine configuration) fingerprints, appended
+// to numbered segment files as length- and CRC-32C-framed records. An
+// in-memory index maps keys to record locations; it is rebuilt on every
+// Open by a recovery scan that truncates torn tails (a crash mid-append)
+// and quarantines segments with mid-file corruption (bit rot), so the
+// store degrades to recomputation rather than serving damaged bytes or
+// refusing to start. See DESIGN.md, "Durable results", for the format and
+// the recovery algorithm; segment.go holds the framing.
+//
+// The store is a cache, not a system of record: every failure path —
+// write errors, sync errors, unreadable segments, checksum mismatches —
+// is absorbed (counted, logged through Options.Logf, and the affected
+// records forgotten) because the simulator can always recompute a lost
+// result. What the store guarantees is the converse: it never returns a
+// value whose checksum does not match what Put stored.
+//
+// A Store is safe for concurrent use.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store directory, created if absent. Segment files, and
+	// nothing else, live directly inside it.
+	Dir string
+	// MaxBytes caps the store's total on-disk size; when rotation pushes
+	// the total past the cap, whole oldest segments are evicted (their
+	// results recompute on demand). <= 0 means unbounded.
+	MaxBytes int64
+	// SegmentBytes is the rotation threshold for the active segment.
+	// <= 0 means 8 MiB.
+	SegmentBytes int64
+	// NoSync skips the fsync barriers. Throughput for tests that do not
+	// care about crash safety; never set it in a server.
+	NoSync bool
+	// FS is the filesystem implementation; nil means the real one. Tests
+	// inject faults by wrapping it (FaultFS).
+	FS FS
+	// Logf, when non-nil, receives one line per absorbed I/O failure and
+	// per notable recovery event. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// defaultSegmentBytes is the rotation threshold when Options leaves it 0.
+const defaultSegmentBytes = 8 << 20
+
+// loc is one record's location: the owning segment and the frame offset.
+type loc struct {
+	seg    uint64
+	off    int64 // frame start
+	valLen int
+}
+
+// segment is one open segment file.
+type segment struct {
+	id     uint64
+	path   string
+	f      File
+	size   int64
+	total  int  // records ever written into it
+	live   int  // index entries currently pointing into it
+	sealed bool // no further appends (write failure or rotation)
+}
+
+// Store is an open result store. Construct with Open.
+type Store struct {
+	fs   FS
+	dir  string
+	opt  Options
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	index    map[Key]loc
+	segs     map[uint64]*segment
+	order    []uint64 // segment ids, ascending; last is the active one
+	nextID   uint64
+	total    int64 // bytes across all live segments
+	closed   bool
+	scratch  []byte // reusable frame-encode buffer (guarded by mu)
+	counters counters
+	recovery string // human-readable outcome of the Open scan
+}
+
+// counters aggregates the monotone event counts behind Stats. Guarded by
+// Store.mu.
+type counters struct {
+	hits, misses, puts    uint64
+	putErrors, readErrors uint64
+	corruptRecords        uint64
+	quarantined           uint64
+	evictedSegments       uint64
+	compactedSegments     uint64
+	recoveredRecords      uint64
+	truncatedTails        uint64
+}
+
+// Stats is a snapshot of the store's state and counters, served by
+// /v1/stats and /v1/healthz so degraded-to-recompute operation is
+// observable.
+type Stats struct {
+	// Dir is the store directory.
+	Dir string `json:"dir"`
+	// Segments and Bytes describe the current on-disk footprint; Entries
+	// is the number of distinct keys servable right now.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	Entries  int   `json:"entries"`
+	// Hits and Misses count Get outcomes; Puts counts records accepted.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	// PutErrors and ReadErrors count absorbed I/O failures (the store
+	// kept serving; the affected records recompute on demand).
+	PutErrors  uint64 `json:"put_errors"`
+	ReadErrors uint64 `json:"read_errors"`
+	// CorruptRecords counts records dropped for checksum mismatches at
+	// read time; Quarantined counts whole segments set aside by recovery.
+	CorruptRecords uint64 `json:"corrupt_records"`
+	Quarantined    uint64 `json:"quarantined"`
+	// EvictedSegments and CompactedSegments count MaxBytes evictions and
+	// compaction rewrites.
+	EvictedSegments   uint64 `json:"evicted_segments"`
+	CompactedSegments uint64 `json:"compacted_segments"`
+	// RecoveredRecords and TruncatedTails describe the last Open scan;
+	// LastRecovery is its one-line human-readable outcome.
+	RecoveredRecords uint64 `json:"recovered_records"`
+	TruncatedTails   uint64 `json:"truncated_tails"`
+	LastRecovery     string `json:"last_recovery"`
+}
+
+// segName formats a segment filename; ids sort lexically because they are
+// fixed-width.
+func segName(id uint64) string { return fmt.Sprintf("seg-%016x.seg", id) }
+
+// parseSegName inverts segName.
+func parseSegName(name string) (uint64, bool) {
+	var id uint64
+	if _, err := fmt.Sscanf(name, "seg-%016x.seg", &id); err != nil {
+		return 0, false
+	}
+	if segName(id) != name {
+		return 0, false
+	}
+	return id, true
+}
+
+// Open opens (creating if necessary) the store in opt.Dir and rebuilds the
+// index with a recovery scan: every segment is read and checksummed
+// record by record; torn tails are truncated in place, segments with
+// mid-file corruption are renamed aside (.quarantined) and their results
+// forgotten. Open fails only when the directory itself is unusable —
+// damaged contents degrade the store, they do not prevent it from
+// serving.
+func Open(opt Options) (*Store, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = OSFS()
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = defaultSegmentBytes
+	}
+	if opt.Dir == "" {
+		return nil, errors.New("store: Options.Dir is required")
+	}
+	if err := fs.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", opt.Dir, err)
+	}
+	s := &Store{
+		fs:    fs,
+		dir:   opt.Dir,
+		opt:   opt,
+		logf:  opt.Logf,
+		index: map[Key]loc{},
+		segs:  map[uint64]*segment{},
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	// Compact before opening the active segment: compaction allocates new
+	// segment ids, and recovery's last-wins index rebuild is only correct
+	// if every segment that can still receive appends has a higher id than
+	// every compacted copy of older data.
+	s.compactLocked()
+	if err := s.openActive(); err != nil {
+		return nil, fmt.Errorf("store: starting active segment: %w", err)
+	}
+	return s, nil
+}
+
+// recover scans the directory and rebuilds the index. Called once from
+// Open, before any concurrent access exists.
+func (s *Store) recover() error {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", s.dir, err)
+	}
+	var ids []uint64
+	var preQuarantined int
+	for _, ent := range ents {
+		name := ent.Name()
+		switch {
+		case filepath.Ext(name) == ".tmp":
+			// A compaction that crashed before its rename; the original
+			// segment is still intact, so the half-written copy is garbage.
+			s.fs.Remove(filepath.Join(s.dir, name))
+		case filepath.Ext(name) == ".quarantined":
+			preQuarantined++
+		default:
+			if id, ok := parseSegName(name); ok {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var truncated, quarantined int
+	for _, id := range ids {
+		path := filepath.Join(s.dir, segName(id))
+		outcome, err := s.recoverSegment(id, path)
+		if err != nil {
+			// An unreadable segment (I/O error, not corruption) is set
+			// aside like a corrupt one: the store must come up.
+			s.logf("store: recovery: %s unreadable (%v); quarantining", path, err)
+			outcome = segCorrupt
+		}
+		switch outcome {
+		case segTruncated:
+			truncated++
+		case segCorrupt:
+			s.quarantine(id, path)
+			quarantined++
+		case segEmpty:
+			s.fs.Remove(path)
+			syncDir(s.fs, s.dir)
+		}
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	s.counters.recoveredRecords = uint64(len(s.index))
+	s.counters.truncatedTails = uint64(truncated)
+	s.counters.quarantined = uint64(quarantined)
+	switch {
+	case truncated == 0 && quarantined == 0:
+		s.recovery = fmt.Sprintf("clean: %d segments, %d results", len(s.segs), len(s.index))
+	default:
+		s.recovery = fmt.Sprintf("recovered %d results from %d segments (%d torn tails truncated, %d segments quarantined, %d quarantined earlier)",
+			len(s.index), len(s.segs), truncated, quarantined, preQuarantined)
+	}
+	s.logf("store: %s", s.recovery)
+	return nil
+}
+
+// segOutcome classifies one recovered segment.
+type segOutcome int
+
+const (
+	segClean segOutcome = iota
+	segTruncated
+	segCorrupt
+	segEmpty
+)
+
+// recoverSegment reads, scans and (if intact) registers one segment.
+func (s *Store) recoverSegment(id uint64, path string) (segOutcome, error) {
+	info, err := s.fs.Stat(path)
+	if err != nil {
+		return segCorrupt, err
+	}
+	f, err := s.fs.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return segCorrupt, err
+	}
+	size := info.Size()
+	if size > maxSegmentImage {
+		f.Close()
+		return segCorrupt, fmt.Errorf("segment implausibly large (%d bytes)", size)
+	}
+	buf := make([]byte, size)
+	if _, err := readFull(f, buf); err != nil {
+		f.Close()
+		return segCorrupt, err
+	}
+	recs, tail, corrupt := scanSegment(buf)
+	if corrupt {
+		f.Close()
+		return segCorrupt, nil
+	}
+	outcome := segClean
+	if int64(tail) < size {
+		// Torn tail: a crash mid-append. Cut the file back to its last
+		// intact record so future appends (by compaction) and scans start
+		// from a clean boundary.
+		if err := s.fs.Truncate(path, int64(tail)); err != nil {
+			f.Close()
+			return segCorrupt, err
+		}
+		if !s.opt.NoSync {
+			f.Sync()
+		}
+		size = int64(tail)
+		outcome = segTruncated
+		s.logf("store: recovery: truncated torn tail of %s at %d bytes", path, tail)
+	}
+	if len(recs) == 0 {
+		f.Close()
+		if outcome == segClean {
+			return segEmpty, nil
+		}
+		return outcome, nil
+	}
+	seg := &segment{id: id, path: path, f: f, size: size, total: len(recs), sealed: true}
+	s.segs[id] = seg
+	s.order = append(s.order, id)
+	s.total += size
+	for _, r := range recs {
+		s.setIndex(r.key, loc{seg: id, off: int64(r.off), valLen: r.valLen})
+	}
+	return outcome, nil
+}
+
+// maxSegmentImage bounds how much recovery will read into memory for one
+// segment: generously above any legal segment (rotation caps them) while
+// refusing to inhale a corrupt multi-GB file.
+const maxSegmentImage = 1 << 30
+
+// readFull fills buf from f at offset 0.
+func readFull(f File, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := f.ReadAt(buf[n:], int64(n))
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// setIndex points key at l, maintaining per-segment live counts.
+func (s *Store) setIndex(k Key, l loc) {
+	if old, ok := s.index[k]; ok {
+		if seg := s.segs[old.seg]; seg != nil {
+			seg.live--
+		}
+	}
+	s.index[k] = l
+	if seg := s.segs[l.seg]; seg != nil {
+		seg.live++
+	}
+}
+
+// dropIndex removes key's entry if it still points at l.
+func (s *Store) dropIndex(k Key, l loc) {
+	if cur, ok := s.index[k]; ok && cur == l {
+		delete(s.index, k)
+		if seg := s.segs[l.seg]; seg != nil {
+			seg.live--
+		}
+	}
+}
+
+// quarantine renames a damaged segment aside so it stops participating in
+// recovery but stays on disk for a post-mortem.
+func (s *Store) quarantine(id uint64, path string) {
+	q := path + ".quarantined"
+	if err := s.fs.Rename(path, q); err != nil {
+		// Renaming failed too; removal is the fallback so the next Open
+		// does not re-scan the damage.
+		s.logf("store: quarantine rename of %s failed (%v); removing", path, err)
+		s.fs.Remove(path)
+	}
+	syncDir(s.fs, s.dir)
+	s.logf("store: quarantined corrupt segment %s", path)
+}
+
+// openActive creates the next append segment. Callers hold no lock only
+// during Open; rotate calls it with mu held.
+func (s *Store) openActive() error {
+	id := s.nextID
+	s.nextID++
+	path := filepath.Join(s.dir, segName(id))
+	f, err := s.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	if !s.opt.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			s.fs.Remove(path)
+			return err
+		}
+		syncDir(s.fs, s.dir)
+	}
+	seg := &segment{id: id, path: path, f: f, size: int64(headerBytes)}
+	s.segs[id] = seg
+	s.order = append(s.order, id)
+	s.total += seg.size
+	return nil
+}
+
+// active returns the append segment, or nil when the last one failed and
+// has not been replaced yet.
+func (s *Store) active() *segment {
+	if len(s.order) == 0 {
+		return nil
+	}
+	return s.segs[s.order[len(s.order)-1]]
+}
+
+// Put durably appends (key, value). Errors are returned for observability
+// but the caller is expected to absorb them (the session logs and moves
+// on): a failed Put loses nothing except future disk hits for this key.
+func (s *Store) Put(key Key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if frameSize(len(val)) > maxRecordBytes {
+		s.counters.putErrors++
+		return fmt.Errorf("store: value of %d bytes exceeds the record limit", len(val))
+	}
+	seg := s.active()
+	if seg == nil || seg.sealed || seg.size >= s.opt.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.counters.putErrors++
+			s.logf("store: rotating segments: %v", err)
+			return err
+		}
+		seg = s.active()
+	}
+	s.scratch = appendFrame(s.scratch[:0], key, val)
+	n, err := seg.f.Write(s.scratch)
+	if err != nil {
+		// The segment now ends in a torn record; seal it (recovery-style
+		// truncation would need the write offset to be trustworthy, which
+		// it is not after a failed write) and let the next Put start a
+		// fresh segment. The torn bytes are truncated by the next Open.
+		s.counters.putErrors++
+		seg.size += int64(n)
+		s.total += int64(n)
+		s.sealActiveLocked()
+		s.logf("store: append of %s failed: %v", key, err)
+		return err
+	}
+	if !s.opt.NoSync {
+		if err := seg.f.Sync(); err != nil {
+			// The data reached the page cache but maybe not the platter;
+			// keep serving it (CRC guards reads) but count the failure.
+			s.counters.putErrors++
+			s.logf("store: fsync after %s failed: %v", key, err)
+		}
+	}
+	off := seg.size
+	seg.size += int64(len(s.scratch))
+	s.total += int64(len(s.scratch))
+	seg.total++
+	s.setIndex(key, loc{seg: seg.id, off: off, valLen: len(val)})
+	s.counters.puts++
+	return nil
+}
+
+// sealActiveLocked retires the active segment from appending without
+// creating a successor (the next Put does, so a persistent disk failure
+// costs one rotation attempt per Put, not an unbounded pile of
+// segments).
+func (s *Store) sealActiveLocked() {
+	if seg := s.active(); seg != nil {
+		seg.sealed = true
+	}
+}
+
+// Get returns the stored value for key. Every read re-verifies the
+// record's checksum — a mismatch (bit rot since the write) drops the
+// entry and reports a miss, never a damaged value.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	l, ok := s.index[key]
+	if !ok {
+		s.counters.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	seg := s.segs[l.seg]
+	f := seg.f
+	s.mu.Unlock()
+
+	buf := make([]byte, frameSize(l.valLen))
+	_, err := f.ReadAt(buf, l.off)
+	if err != nil {
+		s.mu.Lock()
+		s.counters.readErrors++
+		s.counters.misses++
+		s.dropIndex(key, l)
+		s.mu.Unlock()
+		s.logf("store: reading %s: %v", key, err)
+		return nil, false
+	}
+	r, _, ok := decodeFrame(buf, 0)
+	if !ok || r.key != key || r.valLen != l.valLen {
+		s.mu.Lock()
+		s.counters.corruptRecords++
+		s.counters.misses++
+		s.dropIndex(key, l)
+		s.mu.Unlock()
+		s.logf("store: record for %s failed its checksum; dropped", key)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.counters.hits++
+	s.mu.Unlock()
+	return buf[frameBytes+KeySize:], true
+}
+
+// Contains reports whether key is currently servable (no I/O).
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// rotateLocked seals the active segment, compacts under-utilized sealed
+// segments, opens the successor and evicts oldest segments beyond
+// MaxBytes. Compaction runs before openActive for the same id-ordering
+// reason as in Open: the fresh active must outrank any compacted copy.
+func (s *Store) rotateLocked() error {
+	if seg := s.active(); seg != nil && !s.opt.NoSync {
+		seg.f.Sync()
+	}
+	s.sealActiveLocked()
+	s.compactLocked()
+	if err := s.openActive(); err != nil {
+		return err
+	}
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked removes whole oldest segments until the store fits
+// MaxBytes. The active segment is never evicted.
+func (s *Store) evictLocked() {
+	if s.opt.MaxBytes <= 0 {
+		return
+	}
+	for s.total > s.opt.MaxBytes && len(s.order) > 1 {
+		id := s.order[0]
+		seg := s.segs[id]
+		s.order = s.order[1:]
+		delete(s.segs, id)
+		s.total -= seg.size
+		for k, l := range s.index {
+			if l.seg == id {
+				delete(s.index, k)
+			}
+		}
+		seg.f.Close()
+		s.fs.Remove(seg.path)
+		syncDir(s.fs, s.dir)
+		s.counters.evictedSegments++
+		s.logf("store: evicted %s (%d bytes) to respect the %d-byte cap", seg.path, seg.size, s.opt.MaxBytes)
+	}
+}
+
+// compactLocked rewrites sealed segments whose records are mostly
+// superseded (live < half of total): the surviving records are copied
+// into a fresh segment written beside the store and atomically renamed
+// into place, then the original is removed. Compaction is pure
+// space-reclamation — every live record stays servable throughout, and a
+// crash at any point leaves either the original or the complete copy
+// (half-written .tmp files are swept by recovery).
+func (s *Store) compactLocked() {
+	for _, id := range append([]uint64(nil), s.order...) {
+		seg := s.segs[id]
+		if seg == nil || !seg.sealed || seg.live*2 >= seg.total {
+			continue
+		}
+		if err := s.compactSegment(seg); err != nil {
+			s.logf("store: compacting %s: %v", seg.path, err)
+		}
+	}
+}
+
+// compactSegment copies seg's live records into a new segment file.
+func (s *Store) compactSegment(seg *segment) error {
+	// Collect the live records (key order is irrelevant; offsets are).
+	type liveRec struct {
+		key Key
+		l   loc
+	}
+	var live []liveRec
+	for k, l := range s.index {
+		if l.seg == seg.id {
+			live = append(live, liveRec{k, l})
+		}
+	}
+	if len(live) == 0 {
+		// Nothing worth keeping: drop the segment outright.
+		s.removeSegment(seg)
+		s.counters.compactedSegments++
+		return nil
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].l.off < live[j].l.off })
+
+	newID := s.nextID
+	s.nextID++
+	finalPath := filepath.Join(s.dir, segName(newID))
+	tmpPath := finalPath + ".tmp"
+	f, err := s.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		f.Close()
+		s.fs.Remove(tmpPath)
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		return abort(err)
+	}
+	newLocs := make([]loc, len(live))
+	dropped := make([]bool, len(live))
+	off := int64(headerBytes)
+	for i, lr := range live {
+		buf := make([]byte, frameSize(lr.l.valLen))
+		if _, err := seg.f.ReadAt(buf, lr.l.off); err != nil {
+			return abort(err)
+		}
+		if r, _, ok := decodeFrame(buf, 0); !ok || r.key != lr.key {
+			// The source record rotted since recovery scanned it; drop it
+			// rather than copying damage forward.
+			s.counters.corruptRecords++
+			s.dropIndex(lr.key, lr.l)
+			dropped[i] = true
+			continue
+		}
+		if _, err := f.Write(buf); err != nil {
+			return abort(err)
+		}
+		newLocs[i] = loc{seg: newID, off: off, valLen: lr.l.valLen}
+		off += int64(len(buf))
+	}
+	if !s.opt.NoSync {
+		if err := f.Sync(); err != nil {
+			return abort(err)
+		}
+	}
+	if err := s.fs.Rename(tmpPath, finalPath); err != nil {
+		return abort(err)
+	}
+	syncDir(s.fs, s.dir)
+
+	// Publish: register the new segment in the old one's age slot (so it
+	// is not mistaken for the active append target and keeps its place in
+	// eviction order), repoint the index, drop the old.
+	ns := &segment{id: newID, path: finalPath, f: f, size: off, sealed: true}
+	s.segs[newID] = ns
+	for i, id := range s.order {
+		if id == seg.id {
+			s.order[i] = newID
+			break
+		}
+	}
+	s.total += ns.size
+	for i, lr := range live {
+		if dropped[i] {
+			continue
+		}
+		if cur, ok := s.index[lr.key]; ok && cur == lr.l {
+			s.setIndex(lr.key, newLocs[i])
+			ns.total++
+		}
+	}
+	s.removeSegment(seg)
+	s.counters.compactedSegments++
+	s.logf("store: compacted %s -> %s (%d live records)", seg.path, finalPath, ns.live)
+	return nil
+}
+
+// removeSegment closes and deletes a sealed segment, dropping any index
+// entries still pointing into it.
+func (s *Store) removeSegment(seg *segment) {
+	for i, id := range s.order {
+		if id == seg.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	delete(s.segs, seg.id)
+	s.total -= seg.size
+	for k, l := range s.index {
+		if l.seg == seg.id {
+			delete(s.index, k)
+		}
+	}
+	seg.f.Close()
+	s.fs.Remove(seg.path)
+	syncDir(s.fs, s.dir)
+}
+
+// Sync forces an fsync of the active segment (useful with NoSync stores
+// at checkpoints; redundant otherwise, Put syncs as it goes).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if seg := s.active(); seg != nil {
+		return seg.f.Sync()
+	}
+	return nil
+}
+
+// Close syncs and closes every segment. The store refuses further use.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, id := range s.order {
+		seg := s.segs[id]
+		if !s.opt.NoSync {
+			if err := seg.f.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns a consistent snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:               s.dir,
+		Segments:          len(s.order),
+		Bytes:             s.total,
+		Entries:           len(s.index),
+		Hits:              s.counters.hits,
+		Misses:            s.counters.misses,
+		Puts:              s.counters.puts,
+		PutErrors:         s.counters.putErrors,
+		ReadErrors:        s.counters.readErrors,
+		CorruptRecords:    s.counters.corruptRecords,
+		Quarantined:       s.counters.quarantined,
+		EvictedSegments:   s.counters.evictedSegments,
+		CompactedSegments: s.counters.compactedSegments,
+		RecoveredRecords:  s.counters.recoveredRecords,
+		TruncatedTails:    s.counters.truncatedTails,
+		LastRecovery:      s.recovery,
+	}
+}
+
+// Healthy reports whether the store has seen no absorbed failures: false
+// means it is (or was) degraded — still serving, with recomputation
+// covering the losses.
+func (s *Store) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters
+	return c.putErrors == 0 && c.readErrors == 0 && c.corruptRecords == 0 && c.quarantined == 0
+}

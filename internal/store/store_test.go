@@ -1,0 +1,516 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// keyOf derives a deterministic test key.
+func keyOf(i int) Key {
+	return Key(sha256.Sum256([]byte(fmt.Sprintf("key-%d", i))))
+}
+
+// valOf derives a deterministic test value, sized to make multi-segment
+// layouts easy to provoke.
+func valOf(i, size int) []byte {
+	v := make([]byte, size)
+	for j := range v {
+		v[j] = byte(i + j)
+	}
+	return v
+}
+
+// open opens a store over dir with test-friendly defaults.
+func open(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	opt.Dir = dir
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// segFiles lists the segment files currently in dir.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if _, ok := parseSegName(e.Name()); ok {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	defer s.Close()
+	for i := 0; i < 32; i++ {
+		if err := s.Put(keyOf(i), valOf(i, 100+i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		v, ok := s.Get(keyOf(i))
+		if !ok {
+			t.Fatalf("Get %d: miss", i)
+		}
+		if !bytes.Equal(v, valOf(i, 100+i)) {
+			t.Fatalf("Get %d: wrong value", i)
+		}
+	}
+	if _, ok := s.Get(keyOf(999)); ok {
+		t.Fatal("Get of absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Puts != 32 || st.Hits != 32 || st.Misses != 1 || st.Entries != 32 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if !s.Healthy() {
+		t.Fatalf("store unhealthy after clean use: %+v", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(keyOf(i), valOf(i, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.RecoveredRecords != 10 {
+		t.Fatalf("recovered %d records, want 10 (%s)", st.RecoveredRecords, st.LastRecovery)
+	}
+	if !strings.HasPrefix(st.LastRecovery, "clean") {
+		t.Fatalf("recovery not clean: %q", st.LastRecovery)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := s2.Get(keyOf(i))
+		if !ok || !bytes.Equal(v, valOf(i, 50)) {
+			t.Fatalf("Get %d after reopen: ok=%v", i, ok)
+		}
+	}
+}
+
+// TestLastPutWins pins the duplicate-key contract: re-putting a key
+// serves the newest value, across rotations and reopens.
+func TestLastPutWins(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 256})
+	for round := 0; round < 5; round++ {
+		if err := s.Put(keyOf(1), valOf(round, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok := s.Get(keyOf(1)); !ok || !bytes.Equal(v, valOf(4, 100)) {
+		t.Fatalf("latest value not served (ok=%v)", ok)
+	}
+	s.Close()
+	s2 := open(t, dir, Options{SegmentBytes: 256})
+	defer s2.Close()
+	if v, ok := s2.Get(keyOf(1)); !ok || !bytes.Equal(v, valOf(4, 100)) {
+		t.Fatalf("latest value not served after reopen (ok=%v)", ok)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(keyOf(i), valOf(i, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a partial frame at the tail of the
+	// only populated segment.
+	segs := segFiles(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("no segment files on disk")
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := appendFrame(nil, keyOf(99), valOf(99, 64))
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.TruncatedTails != 1 {
+		t.Fatalf("truncated %d tails, want 1 (%s)", st.TruncatedTails, st.LastRecovery)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantined %d segments, want 0", st.Quarantined)
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := s2.Get(keyOf(i)); !ok || !bytes.Equal(v, valOf(i, 64)) {
+			t.Fatalf("record %d lost by tail truncation (ok=%v)", i, ok)
+		}
+	}
+	if _, ok := s2.Get(keyOf(99)); ok {
+		t.Fatal("torn record served")
+	}
+}
+
+func TestMidFileCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(keyOf(i), valOf(i, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one payload byte in the middle of the segment: records after
+	// it remain intact, so this must read as corruption, not a torn tail.
+	segs := segFiles(t, dir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined %d segments, want 1 (%s)", st.Quarantined, st.LastRecovery)
+	}
+	// Degraded, not broken: everything misses (recompute) and new work
+	// proceeds.
+	for i := 0; i < 5; i++ {
+		if _, ok := s2.Get(keyOf(i)); ok {
+			t.Fatalf("record %d served from a quarantined segment", i)
+		}
+	}
+	if err := s2.Put(keyOf(7), valOf(7, 64)); err != nil {
+		t.Fatalf("Put after quarantine: %v", err)
+	}
+	if _, ok := s2.Get(keyOf(7)); !ok {
+		t.Fatal("Get after quarantine miss")
+	}
+	if s2.Healthy() {
+		t.Fatal("store claims healthy despite a quarantined segment")
+	}
+	// The damaged file is renamed aside, not deleted.
+	ents, _ := os.ReadDir(dir)
+	var quarantined int
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".quarantined") {
+			quarantined++
+		}
+	}
+	if quarantined != 1 {
+		t.Fatalf("%d .quarantined files, want 1", quarantined)
+	}
+}
+
+func TestBitRotAtReadTime(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	if err := s.Put(keyOf(1), valOf(1, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the value bytes on disk behind the open store's back.
+	segs := segFiles(t, dir)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, int64(headerBytes+frameBytes+KeySize+10)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, ok := s.Get(keyOf(1)); ok {
+		t.Fatal("checksum-mismatched record served")
+	}
+	st := s.Stats()
+	if st.CorruptRecords != 1 {
+		t.Fatalf("corrupt records %d, want 1", st.CorruptRecords)
+	}
+	// The entry is dropped: the next Get is a plain miss, and a re-Put
+	// heals the key.
+	if _, ok := s.Get(keyOf(1)); ok {
+		t.Fatal("dropped record served on second read")
+	}
+	if err := s.Put(keyOf(1), valOf(1, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(keyOf(1)); !ok || !bytes.Equal(v, valOf(1, 256)) {
+		t.Fatal("re-put after rot not served")
+	}
+}
+
+func TestRotationAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 1 << 10, MaxBytes: 4 << 10})
+	defer s.Close()
+	for i := 0; i < 64; i++ {
+		if err := s.Put(keyOf(i), valOf(i, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.EvictedSegments == 0 {
+		t.Fatalf("no segments evicted under a %d-byte cap: %+v", 4<<10, st)
+	}
+	// Eviction runs at rotation, so the footprint may exceed the cap by up
+	// to one active segment's growth, never more.
+	if st.Bytes > 4<<10+2<<10 {
+		t.Fatalf("store size %d far exceeds the cap", st.Bytes)
+	}
+	// The newest keys survive; the oldest were evicted.
+	if _, ok := s.Get(keyOf(63)); !ok {
+		t.Fatal("newest key evicted")
+	}
+	if _, ok := s.Get(keyOf(0)); ok {
+		t.Fatal("oldest key survived a cap 20x smaller than the data")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 4 << 10})
+	// Fill a few segments where most records are superseded re-puts of
+	// the same keys: the stale majority is compaction's food.
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 4; i++ {
+			if err := s.Put(keyOf(i), valOf(round, 200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats()
+	s.mu.Lock()
+	s.compactLocked()
+	s.mu.Unlock()
+	after := s.Stats()
+	if after.CompactedSegments == before.CompactedSegments {
+		t.Fatalf("no compaction happened: before=%+v after=%+v", before, after)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("compaction did not reclaim space: %d -> %d", before.Bytes, after.Bytes)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := s.Get(keyOf(i))
+		if !ok || !bytes.Equal(v, valOf(39, 200)) {
+			t.Fatalf("key %d lost or stale after compaction (ok=%v)", i, ok)
+		}
+	}
+	s.Close()
+	// And the compacted layout recovers cleanly.
+	s2 := open(t, dir, Options{SegmentBytes: 4 << 10})
+	defer s2.Close()
+	for i := 0; i < 4; i++ {
+		v, ok := s2.Get(keyOf(i))
+		if !ok || !bytes.Equal(v, valOf(39, 200)) {
+			t.Fatalf("key %d lost after compaction+reopen (ok=%v)", i, ok)
+		}
+	}
+}
+
+func TestWriteFaultDegradesAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	var failing bool
+	var mu sync.Mutex
+	ffs := &FaultFS{Hook: func(op Op, path string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing && op == OpWrite {
+			return errors.New("injected write error")
+		}
+		return nil
+	}}
+	s := open(t, dir, Options{FS: ffs})
+	defer s.Close()
+	if err := s.Put(keyOf(0), valOf(0, 64)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	if err := s.Put(keyOf(1), valOf(1, 64)); err == nil {
+		t.Fatal("Put under injected write fault reported success")
+	}
+	// Reads keep working through the fault.
+	if _, ok := s.Get(keyOf(0)); !ok {
+		t.Fatal("read lost during write fault")
+	}
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	// The store heals: the next Put rotates to a fresh segment.
+	if err := s.Put(keyOf(2), valOf(2, 64)); err != nil {
+		t.Fatalf("Put after fault cleared: %v", err)
+	}
+	if _, ok := s.Get(keyOf(2)); !ok {
+		t.Fatal("healed record not served")
+	}
+	if s.Stats().PutErrors == 0 {
+		t.Fatal("write fault not counted")
+	}
+}
+
+func TestTornWriteRecoversOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{}
+	s := open(t, dir, Options{FS: ffs})
+	if err := s.Put(keyOf(0), valOf(0, 128)); err != nil {
+		t.Fatal(err)
+	}
+	// Arm a budget that tears the next record roughly in half.
+	ffs.TornWrites(frameSize(128) / 2)
+	if err := s.Put(keyOf(1), valOf(1, 128)); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	ffs.DisarmTornWrites()
+	s.Close()
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Quarantined != 0 {
+		t.Fatalf("torn append quarantined a segment (%s)", st.LastRecovery)
+	}
+	if v, ok := s2.Get(keyOf(0)); !ok || !bytes.Equal(v, valOf(0, 128)) {
+		t.Fatal("intact record lost to a later torn append")
+	}
+	if _, ok := s2.Get(keyOf(1)); ok {
+		t.Fatal("torn record served")
+	}
+}
+
+func TestSyncFaultAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	var failing bool
+	var mu sync.Mutex
+	ffs := &FaultFS{Hook: func(op Op, path string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing && op == OpSync {
+			return errors.New("injected sync error")
+		}
+		return nil
+	}}
+	s := open(t, dir, Options{FS: ffs})
+	defer s.Close()
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	if err := s.Put(keyOf(0), valOf(0, 64)); err != nil {
+		t.Fatalf("Put surfaced a sync error: %v", err)
+	}
+	if _, ok := s.Get(keyOf(0)); !ok {
+		t.Fatal("record unreadable after absorbed sync error")
+	}
+	if s.Stats().PutErrors == 0 {
+		t.Fatal("sync fault not counted")
+	}
+}
+
+func TestReadFaultIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	var failing bool
+	var mu sync.Mutex
+	ffs := &FaultFS{Hook: func(op Op, path string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing && op == OpReadAt {
+			return errors.New("injected read error")
+		}
+		return nil
+	}}
+	s := open(t, dir, Options{FS: ffs})
+	defer s.Close()
+	if err := s.Put(keyOf(0), valOf(0, 64)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	if _, ok := s.Get(keyOf(0)); ok {
+		t.Fatal("Get succeeded through an injected read error")
+	}
+	if s.Stats().ReadErrors == 0 {
+		t.Fatal("read fault not counted")
+	}
+}
+
+// TestQuarantinedStoreStillOpens is the degrade-never-fail contract for
+// Open: a directory full of garbage must still yield a working store.
+func TestQuarantinedStoreStillOpens(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(3)), []byte("complete garbage, not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(7)), append([]byte(segMagic), 0xDE, 0xAD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, Options{})
+	defer s.Close()
+	if err := s.Put(keyOf(1), valOf(1, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyOf(1)); !ok {
+		t.Fatal("store not serving after opening over garbage")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, t.TempDir(), Options{SegmentBytes: 8 << 10, NoSync: true})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := keyOf(w*1000 + i)
+				if err := s.Put(k, valOf(i, 64)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if v, ok := s.Get(k); !ok || !bytes.Equal(v, valOf(i, 64)) {
+					t.Errorf("Get after Put: ok=%v", ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Stats().Entries; got != 800 {
+		t.Fatalf("entries %d, want 800", got)
+	}
+}

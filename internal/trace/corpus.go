@@ -223,7 +223,17 @@ type countingWriter struct {
 	n int64
 }
 
+// spillWriteFault, when non-nil, is consulted before every spill-file
+// write and may return an error to simulate a full or failing disk
+// (tests of the error-path cleanup).
+var spillWriteFault func() error
+
 func (cw *countingWriter) Write(p []byte) (int, error) {
+	if spillWriteFault != nil {
+		if err := spillWriteFault(); err != nil {
+			return 0, err
+		}
+	}
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
 	return n, err
@@ -237,11 +247,22 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // count (the format prefixes every stream with it), encoded, and
 // released. This is the builder for Scale values whose full trace would
 // not fit in memory.
-func BuildSpilledCorpus(gens []GenFunc, path string) (*SpilledCorpus, error) {
+func BuildSpilledCorpus(gens []GenFunc, path string) (_ *SpilledCorpus, err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
+	// Any abandoned build must take its partial spill file with it — encode
+	// and close errors, but also generator panics, which propagate to the
+	// caller (workload bugs, exactly as on the live path). A sweep that
+	// leaks one orphan per failed build would slowly fill the spill volume.
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(path)
+		}
+	}()
 	cw := &countingWriter{w: f}
 	bw := bufio.NewWriter(cw)
 	enc := streamEncoder{bw: bw}
@@ -285,14 +306,12 @@ func BuildSpilledCorpus(gens []GenFunc, path string) (*SpilledCorpus, error) {
 		return bw.Flush()
 	}
 	if err := write(); err != nil {
-		f.Close()
-		os.Remove(path)
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
 		return nil, err
 	}
+	ok = true
 	return sc, nil
 }
 

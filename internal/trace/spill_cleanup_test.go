@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lacc/internal/mem"
+)
+
+// assertNoOrphans fails if any file survived in the spill directory.
+func assertNoOrphans(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("orphan spill file left behind: %s", e.Name())
+	}
+}
+
+// TestSpillWriteFailureRemovesFile pins the error-path cleanup contract
+// of BuildSpilledCorpus: a disk write that fails mid-build (here: after
+// the header and part of the first stream) must not leave a partial
+// spill file behind — a long sweep that leaks one orphan per failed
+// build slowly fills the spill volume.
+func TestSpillWriteFailureRemovesFile(t *testing.T) {
+	errDiskFull := errors.New("injected: disk full")
+	writes := 0
+	spillWriteFault = func() error {
+		writes++
+		if writes > 1 { // let the header through, fail the stream body
+			return errDiskFull
+		}
+		return nil
+	}
+	defer func() { spillWriteFault = nil }()
+
+	dir := t.TempDir()
+	gens := []GenFunc{func(e *Emitter) {
+		for i := 0; i < 3*chunkSize; i++ { // enough to force buffered flushes
+			e.Read(mem.Addr(i * 8))
+		}
+	}}
+	sc, err := BuildSpilledCorpus(gens, filepath.Join(dir, "spill.lacctrc"))
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("BuildSpilledCorpus error = %v (corpus %v), want the injected write fault", err, sc)
+	}
+	assertNoOrphans(t, dir)
+}
+
+// TestSpillGeneratorPanicRemovesFile covers the other abandonment path:
+// a panicking generator (a workload bug) propagates to the caller, but
+// the partial spill file is still removed on the way out.
+func TestSpillGeneratorPanicRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	gens := []GenFunc{func(e *Emitter) {
+		e.Read(0)
+		panic("injected workload bug")
+	}}
+	func() {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Fatal("generator panic did not propagate")
+			}
+		}()
+		BuildSpilledCorpus(gens, filepath.Join(dir, "spill.lacctrc"))
+	}()
+	assertNoOrphans(t, dir)
+}

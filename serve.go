@@ -5,6 +5,7 @@ import (
 
 	"lacc/internal/experiments"
 	"lacc/internal/server"
+	"lacc/internal/store"
 )
 
 // ServeConfig configures the embedded experiment-serving handler: the
@@ -33,4 +34,36 @@ type ExperimentSessionStats = experiments.SessionStats
 // reference.
 func NewServerHandler(cfg ServeConfig) http.Handler {
 	return server.New(cfg)
+}
+
+// ResultStore is a crash-safe, content-addressed store of simulation
+// results: append-only checksummed segment files under one directory, an
+// in-memory index rebuilt by recovery on every Open (torn tails truncated,
+// corrupt segments quarantined), size-bounded by oldest-first segment
+// eviction. It is a cache, not a system of record — every I/O failure is
+// absorbed and surfaced through Stats, and a result the store cannot
+// serve is simply recomputed. Attach one to a server via
+// ServeConfig.Store, or to a standalone session with
+// NewExperimentSessionWithStore; both leave the process restart-warm.
+type ResultStore = store.Store
+
+// ResultStoreOptions configures OpenResultStore: the directory, the
+// on-disk footprint bound (MaxBytes, 0 = unbounded) and the segment
+// rotation size. The zero value of everything but Dir is usable.
+type ResultStoreOptions = store.Options
+
+// ResultStoreStats is a ResultStore's observability snapshot: footprint
+// (segments, bytes, entries), traffic (hits, misses, puts), absorbed
+// failures (put/read errors, corrupt records, quarantined segments) and
+// the last recovery outcome.
+type ResultStoreStats = store.Stats
+
+// OpenResultStore opens (creating if needed) the durable result store in
+// opts.Dir and recovers its contents. Recovery never fails the open for
+// data damage: a torn tail from a crash mid-write is truncated away and a
+// segment corrupted mid-file is quarantined whole, in both cases
+// degrading the affected results to recomputation. The caller owns the
+// store and must Close it; sessions and servers sharing it never do.
+func OpenResultStore(opts ResultStoreOptions) (*ResultStore, error) {
+	return store.Open(opts)
 }
