@@ -9,6 +9,7 @@
 //
 //	lacc-serve -addr :8080 -max-inflight 4 -max-queue 128
 //	lacc-serve -store-dir /var/lib/lacc -store-max-bytes 268435456
+//	lacc-serve -store-dir /var/lib/lacc -peers n1:8080,n2:8080,n3:8080 -self n1:8080
 //	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/run -d '{"workload":"streamcluster","cores":16,"scale":0.1}'
 //	curl -s localhost:8080/v1/experiments/pct-sweep -d '{"cores":16,"scale":0.1,"pcts":[1,2,4]}'
@@ -27,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lacc/internal/cluster"
 	"lacc/internal/server"
 	"lacc/internal/store"
 	"lacc/internal/workloads"
@@ -48,6 +51,11 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "persist experiment results to this directory (restart-warm serving)")
 		storeMax    = flag.Int64("store-max-bytes", 0, "evict oldest result segments above this on-disk footprint (0 = unbounded)")
 		maxRunSecs  = flag.Float64("max-run-seconds", 0, "cancel any experiment execution exceeding this wall-clock budget with 503 (0 = unlimited)")
+		peers       = flag.String("peers", "", "comma-separated cluster membership (host:port,...) for peer-replicated result serving")
+		self        = flag.String("self", "", "this node's own address within -peers (required with -peers)")
+		peerReps    = flag.Int("peer-replicas", 0, "owner peers per result key for fetch and replication (0 = 2, clamped to the cluster size)")
+		peerBudget  = flag.Float64("peer-budget-seconds", 0, "max wall clock one local miss may spend consulting peers before simulating (0 = 2s)")
+		sseBeatSecs = flag.Float64("sse-heartbeat-seconds", 0, "idle-keepalive comment cadence on SSE progress streams (0 = 15s, negative disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -77,15 +85,51 @@ func main() {
 			*storeDir, sst.Entries, sst.Segments, sst.Bytes, sst.LastRecovery)
 	}
 
+	// The peer tier is optional like the store: without -peers the node
+	// serves standalone. With it, local misses consult the key's owner
+	// peers before simulating, and fresh results replicate to them — a
+	// cold node joining a warm cluster answers warm sweeps without
+	// simulating or sharing a disk. Peer failures never fail or stall
+	// requests; they flip /v1/healthz's cluster mode to "degraded".
+	var cl *cluster.Cluster
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:     *self,
+			Peers:    list,
+			Replicas: *peerReps,
+			Budget:   time.Duration(*peerBudget * float64(time.Second)),
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("lacc-serve: -peers: %v", err)
+		}
+		log.Printf("lacc-serve: cluster of %d peers, self %s", len(list), *self)
+	} else if *self != "" {
+		log.Fatalf("lacc-serve: -self is meaningless without -peers")
+	}
+
+	sseBeat := time.Duration(*sseBeatSecs * float64(time.Second))
+	if *sseBeatSecs < 0 {
+		sseBeat = -1
+	}
 	h := server.New(server.Config{
-		MaxInFlight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		Parallelism: *parallel,
-		MaxCores:    *maxCores,
-		MaxScale:    *maxScale,
-		Store:       st,
-		MaxRunTime:  time.Duration(*maxRunSecs * float64(time.Second)),
-		Logf:        log.Printf,
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		Parallelism:  *parallel,
+		MaxCores:     *maxCores,
+		MaxScale:     *maxScale,
+		Store:        st,
+		Cluster:      cl,
+		SSEHeartbeat: sseBeat,
+		MaxRunTime:   time.Duration(*maxRunSecs * float64(time.Second)),
+		Logf:         log.Printf,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -119,6 +163,12 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("lacc-serve: %v", err)
+	}
+	// Close the cluster client before the store: its replication workers
+	// drain their queue into peer connections, and nothing can enqueue
+	// more once the listener is gone.
+	if cl != nil {
+		cl.Close()
 	}
 	// Close the store only after the listener has fully drained: write-behind
 	// happens inside request handling, so nothing can race this final seal.

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one of the three classic circuit-breaker states.
+type breakerState int
+
+const (
+	// stateClosed: the peer is believed healthy; every request may go.
+	stateClosed breakerState = iota
+	// stateOpen: the peer failed repeatedly; requests are skipped without
+	// touching the network until the cooldown elapses.
+	stateOpen
+	// stateHalfOpen: the cooldown elapsed; exactly one probe request is in
+	// flight deciding whether to close (probe succeeded) or re-open
+	// (probe failed).
+	stateHalfOpen
+)
+
+// String renders the state for health endpoints and logs.
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker. A peer that fails `threshold`
+// consecutive interactions stops being consulted at all — a dead peer must
+// cost one connection timeout per breaker cycle, not one per request — and
+// is re-admitted through single half-open probes after each cooldown.
+//
+// The caller's protocol: allow() before an interaction (false = skip the
+// peer), then exactly one of success()/failure() with the outcome of the
+// interaction allow admitted.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open dwell time before a half-open probe
+
+	state    breakerState
+	fails    int       // consecutive failures (resets on success)
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opens    uint64    // lifetime closed/half-open -> open transitions
+}
+
+// allow reports whether an interaction with the peer may proceed at time
+// now. In the open state it flips to half-open once the cooldown has
+// elapsed and admits the single probe; concurrent callers during a probe
+// are skipped.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a successful interaction: whatever the state, the peer
+// answered, so the breaker closes and the failure run resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed interaction at time now. A failed half-open
+// probe re-opens immediately (the peer is still sick); in the closed state
+// the breaker opens once the consecutive-failure run reaches the
+// threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.state == stateHalfOpen || b.fails >= b.threshold {
+		if b.state != stateOpen {
+			b.opens++
+		}
+		b.state = stateOpen
+		b.openedAt = now
+	}
+}
+
+// snapshot returns the state for Stats without holding the lock longer
+// than a read.
+func (b *breaker) snapshot() (state string, fails int, opens uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.fails, b.opens
+}

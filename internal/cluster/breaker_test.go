@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full closed -> open -> half-open ->
+// closed state machine on a fake clock, including the single-probe
+// admission rule and re-opening on a failed probe.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{threshold: 3, cooldown: 5 * time.Second}
+
+	// Closed: everything admitted; failures below the threshold keep it
+	// closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker refused interaction %d", i)
+		}
+		b.failure(now)
+	}
+	if state, fails, _ := b.snapshot(); state != "closed" || fails != 2 {
+		t.Fatalf("after 2 failures: state %s fails %d, want closed/2", state, fails)
+	}
+
+	// Third consecutive failure opens it.
+	if !b.allow(now) {
+		t.Fatal("closed breaker refused the third interaction")
+	}
+	b.failure(now)
+	if state, _, opens := b.snapshot(); state != "open" || opens != 1 {
+		t.Fatalf("after threshold failures: state %s opens %d, want open/1", state, opens)
+	}
+
+	// Open: refused without touching the network until the cooldown.
+	if b.allow(now.Add(4 * time.Second)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one half-open probe goes; concurrent
+	// requests during the probe are still refused.
+	probeTime := now.Add(6 * time.Second)
+	if !b.allow(probeTime) {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if state, _, _ := b.snapshot(); state != "half-open" {
+		t.Fatalf("state during probe: %s, want half-open", state)
+	}
+	if b.allow(probeTime) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Failed probe: straight back to open, new cooldown from now.
+	b.failure(probeTime)
+	if state, _, opens := b.snapshot(); state != "open" || opens != 2 {
+		t.Fatalf("after failed probe: state %s opens %d, want open/2", state, opens)
+	}
+	if b.allow(probeTime.Add(time.Second)) {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+
+	// Second probe succeeds: closed, failure run reset, all admitted.
+	probe2 := probeTime.Add(6 * time.Second)
+	if !b.allow(probe2) {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.success()
+	if state, fails, _ := b.snapshot(); state != "closed" || fails != 0 {
+		t.Fatalf("after successful probe: state %s fails %d, want closed/0", state, fails)
+	}
+	if !b.allow(probe2) {
+		t.Fatal("closed breaker refused a request after recovery")
+	}
+
+	// A success mid-run also resets the failure count.
+	b.failure(probe2)
+	b.failure(probe2)
+	b.success()
+	b.failure(probe2)
+	if state, fails, _ := b.snapshot(); state != "closed" || fails != 1 {
+		t.Fatalf("failure run across a success: state %s fails %d, want closed/1", state, fails)
+	}
+}

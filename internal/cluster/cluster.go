@@ -1,0 +1,623 @@
+// Package cluster implements the peer result tier: a static list of
+// lacc-serve nodes consistent-hashed on the durable store's SHA-256
+// result fingerprints, so that on a local miss a node fetches the
+// canonical-JSON result bytes from the key's owner peers before paying
+// for a simulation, and write-behind replicates every fresh result to
+// those owners. A cold replica joining a warm cluster therefore serves
+// warm sweeps immediately — `simulated == 0` — without sharing a disk.
+//
+// Peers are an optimization tier exactly as the local disk is: the
+// cluster absorbs and counts every failure — timeouts, refused
+// connections, corrupt bodies, flapping peers — and falls through to
+// simulation, never surfacing an error or unbounded latency to the
+// caller. The machinery enforcing that contract is the point of this
+// package:
+//
+//   - Per-attempt timeouts and a hard per-fetch Budget (a
+//     context deadline spanning all owners and retries), so a sick
+//     cluster can slow a local miss by at most Budget.
+//   - Bounded retries with exponential backoff and jitter, so a
+//     transient blip is ridden out without synchronized retry storms.
+//   - A per-peer circuit breaker (closed/open/half-open with single
+//     probe requests), so a dead peer costs one timeout per cooldown,
+//     not one per request.
+//   - CRC-32C verification of every transferred body (the same
+//     Castagnoli checksum the on-disk segments use), so a truncated or
+//     corrupted transfer is detected and discarded, never decoded.
+//
+// All of it is proven under injected failure: FaultTripper (fault.go) is
+// an http.RoundTripper harness — the FaultFS pattern lifted to the
+// network — and the package's -race tests drive warm-join, breaker
+// lifecycle and kill-a-peer-mid-sweep chaos through it. See DESIGN.md,
+// "Cluster serving".
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lacc/internal/store"
+)
+
+// Config parameterizes New. Self and Peers are required; every other
+// field has a documented default.
+type Config struct {
+	// Self is this node's own address exactly as it appears in Peers; it
+	// anchors ring ownership (self is never fetched from or replicated
+	// to, but still owns its arcs so all nodes agree on placement).
+	Self string
+	// Peers is the static cluster membership, addresses as host:port.
+	// Order is irrelevant — the ring is order-independent — and the list
+	// must include Self.
+	Peers []string
+
+	// Replicas is K, the number of owner peers per key: fetches consult
+	// the key's K owners in ring order, write-behind replicates to them.
+	// Clamped to the peer count; <= 0 means 2.
+	Replicas int
+
+	// Budget bounds one Fetch's total wall clock across all owners,
+	// attempts and backoffs — the degradation contract's "no client
+	// request slows past a budget because the cluster is sick".
+	// <= 0 means 2s.
+	Budget time.Duration
+	// AttemptTimeout bounds each individual peer HTTP attempt.
+	// <= 0 means 500ms.
+	AttemptTimeout time.Duration
+	// Retries is the number of additional attempts per peer after the
+	// first fails (a 404 miss is authoritative and never retried).
+	// < 0 means 0; the default (when 0) is 2.
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts; each delay is jittered uniformly over [d/2, d] so
+	// synchronized clients spread out. Defaults: 25ms base, 250ms max.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// BreakerFailures is the consecutive-failure run that opens a peer's
+	// circuit breaker; BreakerCooldown is the open dwell time before a
+	// half-open probe. Defaults: 3 failures, 5s cooldown.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+
+	// Transport performs the HTTP round trips; nil means
+	// http.DefaultTransport. Tests inject faults by wrapping it
+	// (FaultTripper).
+	Transport http.RoundTripper
+	// Logf, when non-nil, receives one line per absorbed peer failure.
+	// Nil discards them.
+	Logf func(format string, args ...any)
+	// Now is the clock the breakers read; nil means time.Now. Tests
+	// inject a fake clock to walk the breaker lifecycle deterministically.
+	Now func() time.Time
+}
+
+// Defaults for the zero fields of Config.
+const (
+	defaultReplicas        = 2
+	defaultBudget          = 2 * time.Second
+	defaultAttemptTimeout  = 500 * time.Millisecond
+	defaultRetries         = 2
+	defaultBackoffBase     = 25 * time.Millisecond
+	defaultBackoffMax      = 250 * time.Millisecond
+	defaultBreakerFailures = 3
+	defaultBreakerCooldown = 5 * time.Second
+
+	// replicationQueue bounds pending write-behind replication jobs; a
+	// full queue drops the job (counted) rather than blocking the
+	// simulation worker that produced the result.
+	replicationQueue = 256
+	// replicationWorkers drain the queue concurrently.
+	replicationWorkers = 2
+
+	// maxValueBytes bounds one transferred result body, mirroring the
+	// store's record limit: a corrupt Content-Length cannot make a fetch
+	// attempt an absurd allocation.
+	maxValueBytes = 16 << 20
+)
+
+// CRCHeader is the HTTP header carrying the hex CRC-32C (Castagnoli) of a
+// peer-transfer body. Both peer endpoints require it: a GET response
+// without a verifiable checksum is treated as corrupt, and a PUT without
+// one is rejected, so damaged bytes never cross the wire undetected in
+// either direction.
+const CRCHeader = "X-Lacc-Crc32c"
+
+// castagnoli is the CRC-32C table, the same polynomial the on-disk
+// segment frames use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC returns the hex CRC-32C of body, the CRCHeader value for it.
+func CRC(body []byte) string {
+	return strconv.FormatUint(uint64(crc32.Checksum(body, castagnoli)), 16)
+}
+
+// VerifyCRC checks body against a CRCHeader value.
+func VerifyCRC(body []byte, header string) error {
+	if header == "" {
+		return errors.New("missing " + CRCHeader + " header")
+	}
+	want, err := strconv.ParseUint(header, 16, 32)
+	if err != nil {
+		return fmt.Errorf("bad %s header %q", CRCHeader, header)
+	}
+	if got := crc32.Checksum(body, castagnoli); got != uint32(want) {
+		return fmt.Errorf("body CRC %08x does not match header %08x", got, uint32(want))
+	}
+	return nil
+}
+
+// peer is one cluster member and its client-side health state.
+type peer struct {
+	addr string
+	self bool
+	br   breaker
+
+	// Monotone per-peer counters (see PeerStats).
+	attempts atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	errs     atomic.Uint64
+	corrupt  atomic.Uint64
+	skips    atomic.Uint64
+	repOK    atomic.Uint64
+	repErrs  atomic.Uint64
+}
+
+// Cluster is the peer tier. Construct with New; Close stops the
+// replication workers. A Cluster is safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	ring   *ring
+	peers  []*peer // sorted by address, ring-index-aligned
+	client *http.Client
+	now    func() time.Time
+	logf   func(format string, args ...any)
+
+	// Write-behind replication: a bounded queue drained by background
+	// workers, so simulation workers never block on peer I/O.
+	repMu     sync.Mutex
+	repClosed bool
+	repCh     chan repJob
+	repWG     sync.WaitGroup // pending jobs (for FlushReplication)
+	workerWG  sync.WaitGroup
+
+	fetches    atomic.Uint64
+	fetchHits  atomic.Uint64
+	repDropped atomic.Uint64
+}
+
+// repJob is one queued replication: a value bound for one owner peer.
+type repJob struct {
+	p   *peer
+	key store.Key
+	val []byte
+}
+
+// New validates cfg, builds the ring and starts the replication workers.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: empty peer list")
+	}
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self is required")
+	}
+	addrs := make([]string, 0, len(cfg.Peers))
+	seen := map[string]bool{}
+	for _, a := range cfg.Peers {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, errors.New("cluster: empty peer address in list")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", a)
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	if !seen[cfg.Self] {
+		return nil, fmt.Errorf("cluster: Self %q is not in the peer list", cfg.Self)
+	}
+	// Sort so every node derives the identical peer indexing (and ring)
+	// from the identical membership, however -peers was ordered.
+	sort.Strings(addrs)
+
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = defaultReplicas
+	}
+	if cfg.Replicas > len(addrs) {
+		cfg.Replicas = len(addrs)
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = defaultBudget
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = defaultAttemptTimeout
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = defaultRetries
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = defaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = defaultBackoffMax
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = defaultBreakerFailures
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = defaultBreakerCooldown
+	}
+
+	c := &Cluster{
+		cfg:    cfg,
+		ring:   newRing(addrs),
+		client: &http.Client{Transport: cfg.Transport},
+		now:    cfg.Now,
+		logf:   cfg.Logf,
+		repCh:  make(chan repJob, replicationQueue),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	for _, a := range addrs {
+		p := &peer{addr: a, self: a == cfg.Self}
+		p.br.threshold = cfg.BreakerFailures
+		p.br.cooldown = cfg.BreakerCooldown
+		c.peers = append(c.peers, p)
+	}
+	c.workerWG.Add(replicationWorkers)
+	for i := 0; i < replicationWorkers; i++ {
+		go c.replicationWorker()
+	}
+	return c, nil
+}
+
+// Close stops the replication workers after draining queued jobs. Safe to
+// call once, after no more Fetch/Replicate calls can occur (lacc-serve
+// closes the cluster after the HTTP listener has drained, like the
+// store).
+func (c *Cluster) Close() {
+	c.repMu.Lock()
+	if !c.repClosed {
+		c.repClosed = true
+		close(c.repCh)
+	}
+	c.repMu.Unlock()
+	c.workerWG.Wait()
+}
+
+// Fetch consults the key's owner peers for its canonical result bytes,
+// absorbing every failure. It returns within Config.Budget regardless of
+// cluster health: dead owners cost at most their breaker's probe
+// cadence, slow owners their attempt timeouts, and the budget context
+// caps the sum. The returned bytes are CRC-verified.
+func (c *Cluster) Fetch(key store.Key) ([]byte, bool) {
+	c.fetches.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Budget)
+	defer cancel()
+	for _, idx := range c.ring.owners(keyHash(key), c.cfg.Replicas) {
+		p := c.peers[idx]
+		if p.self {
+			continue // the local store already missed
+		}
+		if ctx.Err() != nil {
+			break // budget exhausted; simulate
+		}
+		if !p.br.allow(c.now()) {
+			p.skips.Add(1)
+			continue
+		}
+		val, found, err := c.fetchFrom(ctx, p, key)
+		if err != nil {
+			p.br.failure(c.now())
+			p.errs.Add(1)
+			c.logf("cluster: fetching %s from %s: %v", key, p.addr, err)
+			continue
+		}
+		p.br.success()
+		if found {
+			p.hits.Add(1)
+			c.fetchHits.Add(1)
+			return val, true
+		}
+		p.misses.Add(1)
+	}
+	return nil, false
+}
+
+// fetchFrom runs the bounded retry loop against one peer. A 404 is an
+// authoritative miss (found=false, nil error); transport errors, non-200
+// statuses and CRC mismatches are retried with backoff until the attempt
+// budget or the fetch budget runs out.
+func (c *Cluster) fetchFrom(ctx context.Context, p *peer, key store.Key) (val []byte, found bool, err error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		p.attempts.Add(1)
+		val, found, lastErr = c.getOnce(ctx, p, key)
+		if lastErr == nil {
+			return val, found, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, false, lastErr
+}
+
+// getOnce performs one GET /v1/peer/get attempt under the attempt
+// timeout, verifying the body checksum.
+func (c *Cluster) getOnce(ctx context.Context, p *peer, key store.Key) ([]byte, bool, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet,
+		"http://"+p.addr+"/v1/peer/get/"+key.String(), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxValueBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(body) > maxValueBytes {
+		return nil, false, fmt.Errorf("body exceeds %d bytes", maxValueBytes)
+	}
+	if err := VerifyCRC(body, resp.Header.Get(CRCHeader)); err != nil {
+		// A truncated or bit-flipped transfer; retrying is right (the
+		// peer's copy re-verified its own CRC when read from disk).
+		p.corrupt.Add(1)
+		return nil, false, err
+	}
+	return body, true, nil
+}
+
+// Replicate enqueues write-behind replication of (key, val) to the key's
+// owner peers. It never blocks: a full queue drops the job and counts it
+// (a dropped replica costs future peer hits for this key on that owner,
+// nothing else). FlushReplication waits for queued jobs; tests use it.
+func (c *Cluster) Replicate(key store.Key, val []byte) {
+	for _, idx := range c.ring.owners(keyHash(key), c.cfg.Replicas) {
+		p := c.peers[idx]
+		if p.self {
+			continue // the session already wrote the local store
+		}
+		c.repMu.Lock()
+		if c.repClosed {
+			c.repMu.Unlock()
+			c.repDropped.Add(1)
+			continue
+		}
+		c.repWG.Add(1)
+		select {
+		case c.repCh <- repJob{p: p, key: key, val: val}:
+		default:
+			c.repWG.Done()
+			c.repDropped.Add(1)
+		}
+		c.repMu.Unlock()
+	}
+}
+
+// FlushReplication blocks until every replication job enqueued so far has
+// been attempted (delivered, failed or skipped).
+func (c *Cluster) FlushReplication() { c.repWG.Wait() }
+
+// replicationWorker drains the write-behind queue.
+func (c *Cluster) replicationWorker() {
+	defer c.workerWG.Done()
+	for job := range c.repCh {
+		c.replicateTo(job.p, job.key, job.val)
+		c.repWG.Done()
+	}
+}
+
+// replicateTo pushes one value to one owner, through the same breaker,
+// timeout and retry machinery as fetches. Failures are absorbed.
+func (c *Cluster) replicateTo(p *peer, key store.Key, val []byte) {
+	if !p.br.allow(c.now()) {
+		p.skips.Add(1)
+		p.repErrs.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Budget)
+	defer cancel()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		p.attempts.Add(1)
+		lastErr = c.putOnce(ctx, p, key, val)
+		if lastErr == nil {
+			p.br.success()
+			p.repOK.Add(1)
+			return
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	p.br.failure(c.now())
+	p.repErrs.Add(1)
+	c.logf("cluster: replicating %s to %s: %v", key, p.addr, lastErr)
+}
+
+// putOnce performs one PUT /v1/peer/put attempt. A 404 — the peer runs
+// without a durable store and cannot accept replicas — is absorbed as
+// success so it never trips the breaker of a live peer.
+func (c *Cluster) putOnce(ctx context.Context, p *peer, key store.Key, val []byte) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPut,
+		"http://"+p.addr+"/v1/peer/put/"+key.String(), bytes.NewReader(val))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(CRCHeader, CRC(val))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusNotFound || (resp.StatusCode >= 200 && resp.StatusCode < 300) {
+		return nil
+	}
+	return fmt.Errorf("status %d", resp.StatusCode)
+}
+
+// backoff sleeps the jittered exponential delay for the given retry
+// attempt (1-based), returning early with the context's error if the
+// budget expires first.
+func (c *Cluster) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	// Jitter uniformly over [d/2, d] so synchronized retriers spread out.
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PeerStats is one peer's client-side health and traffic snapshot.
+type PeerStats struct {
+	// Addr is the peer's address; Self marks this node's own entry.
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	// Breaker is the circuit state: "closed", "open" or "half-open".
+	// ConsecutiveFailures is the current failure run; BreakerOpens counts
+	// lifetime open transitions; BreakerSkips counts interactions skipped
+	// because the breaker was open.
+	Breaker             string `json:"breaker"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	BreakerOpens        uint64 `json:"breaker_opens"`
+	BreakerSkips        uint64 `json:"breaker_skips"`
+	// Attempts counts HTTP attempts (fetch and replicate); Hits/Misses
+	// split completed fetches; Errors counts peers given up on after
+	// retries; Corrupt counts checksum-failed transfers.
+	Attempts uint64 `json:"attempts"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Errors   uint64 `json:"errors"`
+	Corrupt  uint64 `json:"corrupt"`
+	// Replicated counts values delivered to this owner by write-behind;
+	// ReplicationErrors counts deliveries abandoned after retries.
+	Replicated        uint64 `json:"replicated"`
+	ReplicationErrors uint64 `json:"replication_errors"`
+}
+
+// Stats is the cluster tier's observability snapshot, served under
+// /v1/stats and (per-peer health) /v1/healthz.
+type Stats struct {
+	// Self is this node's address; Replicas is K, the owners per key.
+	Self     string `json:"self"`
+	Replicas int    `json:"replicas"`
+	// Fetches counts Fetch calls (local misses consulting the cluster);
+	// FetchHits counts those satisfied by a peer.
+	Fetches   uint64 `json:"fetches"`
+	FetchHits uint64 `json:"fetch_hits"`
+	// ReplicationDropped counts write-behind jobs dropped on a full
+	// queue.
+	ReplicationDropped uint64 `json:"replication_dropped"`
+	// Peers holds one entry per cluster member, self included, sorted by
+	// address.
+	Peers []PeerStats `json:"peers"`
+}
+
+// Stats returns a snapshot of the tier's counters and breaker states.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Self:               c.cfg.Self,
+		Replicas:           c.cfg.Replicas,
+		Fetches:            c.fetches.Load(),
+		FetchHits:          c.fetchHits.Load(),
+		ReplicationDropped: c.repDropped.Load(),
+	}
+	for _, p := range c.peers {
+		state, fails, opens := p.br.snapshot()
+		s.Peers = append(s.Peers, PeerStats{
+			Addr:                p.addr,
+			Self:                p.self,
+			Breaker:             state,
+			ConsecutiveFailures: fails,
+			BreakerOpens:        opens,
+			BreakerSkips:        p.skips.Load(),
+			Attempts:            p.attempts.Load(),
+			Hits:                p.hits.Load(),
+			Misses:              p.misses.Load(),
+			Errors:              p.errs.Load(),
+			Corrupt:             p.corrupt.Load(),
+			Replicated:          p.repOK.Load(),
+			ReplicationErrors:   p.repErrs.Load(),
+		})
+	}
+	return s
+}
+
+// Healthy reports whether every remote peer's breaker is closed — false
+// means the tier is degraded (still serving, with simulation covering the
+// losses).
+func (c *Cluster) Healthy() bool {
+	for _, p := range c.peers {
+		if p.self {
+			continue
+		}
+		if state, _, _ := p.br.snapshot(); state != "closed" {
+			return false
+		}
+	}
+	return true
+}

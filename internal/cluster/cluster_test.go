@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lacc/internal/store"
+)
+
+// stubPeer is a minimal in-process implementation of the peer wire
+// contract (GET/PUT over CRC-framed bodies), so the client machinery —
+// retries, breakers, budgets, checksum verification — is tested against
+// the documented protocol without importing internal/server (which
+// imports this package). The full two-node integration runs in
+// internal/server's cluster tests.
+type stubPeer struct {
+	mu sync.Mutex
+	m  map[store.Key][]byte
+	ts *httptest.Server
+
+	noStore bool // answer 404 to puts, like a peer without -store-dir
+}
+
+func newStubPeer(t *testing.T) *stubPeer {
+	t.Helper()
+	sp := &stubPeer{m: map[store.Key][]byte{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/peer/get/{key}", func(w http.ResponseWriter, r *http.Request) {
+		k, ok := parseHexKey(r.PathValue("key"))
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		sp.mu.Lock()
+		val, found := sp.m[k]
+		sp.mu.Unlock()
+		if !found {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set(CRCHeader, CRC(val))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(val)
+	})
+	mux.HandleFunc("PUT /v1/peer/put/{key}", func(w http.ResponseWriter, r *http.Request) {
+		k, ok := parseHexKey(r.PathValue("key"))
+		if !ok {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		if sp.noStore {
+			http.NotFound(w, r)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := VerifyCRC(body, r.Header.Get(CRCHeader)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp.mu.Lock()
+		sp.m[k] = body
+		sp.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	sp.ts = httptest.NewServer(mux)
+	t.Cleanup(sp.ts.Close)
+	return sp
+}
+
+func (sp *stubPeer) addr() string { return strings.TrimPrefix(sp.ts.URL, "http://") }
+
+func (sp *stubPeer) get(k store.Key) ([]byte, bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	v, ok := sp.m[k]
+	return v, ok
+}
+
+func (sp *stubPeer) put(k store.Key, v []byte) {
+	sp.mu.Lock()
+	sp.m[k] = v
+	sp.mu.Unlock()
+}
+
+func parseHexKey(s string) (store.Key, bool) {
+	var k store.Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, false
+	}
+	copy(k[:], b)
+	return k, true
+}
+
+// selfAddr is a placeholder own address for single-node-side tests; it is
+// never dialed (self is excluded from fetch and replication targets).
+const selfAddr = "self.invalid:1"
+
+// deadAddr returns an address that refuses connections: a listener bound
+// and immediately closed.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// fastCfg returns a Config tuned so failure paths resolve in
+// milliseconds.
+func fastCfg(self string, peers ...string) Config {
+	return Config{
+		Self:            self,
+		Peers:           peers,
+		Replicas:        len(peers),
+		Budget:          2 * time.Second,
+		AttemptTimeout:  300 * time.Millisecond,
+		Retries:         2,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      5 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: time.Hour, // stay open for the test's duration
+	}
+}
+
+// peerStatsOf returns the stats entry for addr.
+func peerStatsOf(t *testing.T, c *Cluster, addr string) PeerStats {
+	t.Helper()
+	for _, p := range c.Stats().Peers {
+		if p.Addr == addr {
+			return p
+		}
+	}
+	t.Fatalf("no stats entry for peer %s", addr)
+	return PeerStats{}
+}
+
+// TestFetchAndReplicate is the happy path over the real wire contract:
+// values stored on a peer are fetched CRC-verified, misses are
+// authoritative, and write-behind replication lands on every remote
+// owner.
+func TestFetchAndReplicate(t *testing.T) {
+	a, b := newStubPeer(t), newStubPeer(t)
+	c, err := New(fastCfg(selfAddr, selfAddr, a.addr(), b.addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	k1, v1 := testKey(1), []byte(`{"result":1}`)
+	a.put(k1, v1)
+	b.put(k1, v1)
+	got, ok := c.Fetch(k1)
+	if !ok || string(got) != string(v1) {
+		t.Fatalf("Fetch = %q, %v; want %q", got, ok, v1)
+	}
+	if _, ok := c.Fetch(testKey(2)); ok {
+		t.Fatal("Fetch of an absent key reported a hit")
+	}
+
+	k3, v3 := testKey(3), []byte(`{"result":3}`)
+	c.Replicate(k3, v3)
+	c.FlushReplication()
+	for name, sp := range map[string]*stubPeer{"a": a, "b": b} {
+		if got, ok := sp.get(k3); !ok || string(got) != string(v3) {
+			t.Errorf("peer %s after replication: %q, %v; want %q", name, got, ok, v3)
+		}
+	}
+	st := c.Stats()
+	if st.FetchHits != 1 || st.Fetches != 2 {
+		t.Errorf("stats fetches=%d hits=%d, want 2/1", st.Fetches, st.FetchHits)
+	}
+	var replicated uint64
+	for _, p := range st.Peers {
+		replicated += p.Replicated
+	}
+	if replicated != 2 {
+		t.Errorf("replicated %d values, want 2 (one per remote owner)", replicated)
+	}
+}
+
+// TestFetchBudget pins the degradation contract's latency bound: with
+// every peer black-holing requests (injected latency far beyond every
+// timeout), Fetch returns a miss within the configured budget, not after
+// attempts x peers x timeout.
+func TestFetchBudget(t *testing.T) {
+	cfg := fastCfg(selfAddr, selfAddr, "10.255.255.1:9", "10.255.255.2:9")
+	cfg.Budget = 250 * time.Millisecond
+	cfg.AttemptTimeout = 10 * time.Second // per-attempt alone would blow the budget
+	cfg.Retries = 5
+	cfg.Transport = &FaultTripper{Hook: func(*http.Request) *Fault {
+		return &Fault{Latency: time.Minute}
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if _, ok := c.Fetch(testKey(7)); ok {
+		t.Fatal("fetch from black-holed peers reported a hit")
+	}
+	if elapsed := time.Since(start); elapsed > cfg.Budget+500*time.Millisecond {
+		t.Fatalf("fetch took %v, budget is %v", elapsed, cfg.Budget)
+	}
+}
+
+// TestCorruptAndTruncatedBodiesAbsorbed injects payload damage and
+// requires the CRC check to catch it: the fetch degrades to a miss (the
+// caller simulates), never to damaged bytes.
+func TestCorruptAndTruncatedBodiesAbsorbed(t *testing.T) {
+	for _, mode := range []string{"corrupt", "truncate"} {
+		t.Run(mode, func(t *testing.T) {
+			sp := newStubPeer(t)
+			k, v := testKey(11), []byte(`{"result":"a perfectly good value"}`)
+			sp.put(k, v)
+			cfg := fastCfg(selfAddr, selfAddr, sp.addr())
+			cfg.Transport = &FaultTripper{Hook: func(*http.Request) *Fault {
+				if mode == "corrupt" {
+					return &Fault{CorruptBody: true}
+				}
+				return &Fault{TruncateBody: 5}
+			}}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if got, ok := c.Fetch(k); ok {
+				t.Fatalf("damaged transfer served as a hit: %q", got)
+			}
+			ps := peerStatsOf(t, c, sp.addr())
+			if ps.Corrupt == 0 {
+				t.Error("corrupt counter is zero after damaged transfers")
+			}
+			if ps.Errors == 0 {
+				t.Error("peer error counter is zero after giving up")
+			}
+		})
+	}
+}
+
+// TestBreakerOpensOnDeadPeer: a refused-connection peer fails fetches
+// until its breaker opens; later fetches skip it without touching the
+// network, and the tier reports itself degraded.
+func TestBreakerOpensOnDeadPeer(t *testing.T) {
+	dead := deadAddr(t)
+	cfg := fastCfg(selfAddr, selfAddr, dead)
+	cfg.Retries = 0
+	cfg.BreakerFailures = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Fetch(testKey(i)); ok {
+			t.Fatal("fetch from a dead peer reported a hit")
+		}
+	}
+	ps := peerStatsOf(t, c, dead)
+	if ps.Breaker != "open" {
+		t.Fatalf("dead peer breaker %q, want open (%+v)", ps.Breaker, ps)
+	}
+	if ps.Errors != 2 {
+		t.Errorf("dead peer errors %d, want exactly the threshold 2 (breaker must stop the bleeding)", ps.Errors)
+	}
+	if ps.BreakerSkips != 3 {
+		t.Errorf("breaker skips %d, want 3 (the remaining fetches)", ps.BreakerSkips)
+	}
+	if c.Healthy() {
+		t.Error("cluster with an open breaker reports healthy")
+	}
+}
+
+// TestBreakerHalfOpenRecovery drives the full lifecycle over the network
+// with a fake clock: the breaker opens against a failing peer, a
+// half-open probe after the cooldown finds it recovered, and the breaker
+// closes.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	sp := newStubPeer(t)
+	k, v := testKey(21), []byte(`{"ok":true}`)
+	sp.put(k, v)
+
+	var fail atomic.Bool
+	fail.Store(true)
+	var clock atomic.Int64 // seconds
+	cfg := fastCfg(selfAddr, selfAddr, sp.addr())
+	cfg.Retries = 0
+	cfg.BreakerFailures = 2
+	cfg.BreakerCooldown = 10 * time.Second
+	cfg.Now = func() time.Time { return time.Unix(clock.Load(), 0) }
+	cfg.Transport = &FaultTripper{Hook: func(*http.Request) *Fault {
+		if fail.Load() {
+			return &Fault{Err: errors.New("injected outage")}
+		}
+		return nil
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Outage: two failures open the breaker.
+	c.Fetch(k)
+	c.Fetch(k)
+	if ps := peerStatsOf(t, c, sp.addr()); ps.Breaker != "open" {
+		t.Fatalf("breaker %q after outage, want open", ps.Breaker)
+	}
+	// Inside the cooldown the peer is skipped even though it recovered.
+	fail.Store(false)
+	if _, ok := c.Fetch(k); ok {
+		t.Fatal("hit served inside the cooldown; breaker not skipping")
+	}
+	// Past the cooldown, the next fetch is the half-open probe; it
+	// succeeds and closes the breaker.
+	clock.Store(11)
+	got, ok := c.Fetch(k)
+	if !ok || string(got) != string(v) {
+		t.Fatalf("probe fetch = %q, %v; want recovery hit", got, ok)
+	}
+	if ps := peerStatsOf(t, c, sp.addr()); ps.Breaker != "closed" {
+		t.Fatalf("breaker %q after successful probe, want closed", ps.Breaker)
+	}
+}
+
+// TestChaosKilledAndFlappingPeers is the package-level chaos gate: one
+// owner peer is dead (refused connections) and one is flapping (the
+// first attempt for every key is black-holed at the transport; the
+// retry gets through), while 8 goroutines fetch 50 keys each. The
+// contract: 100% of fetches return the correct, CRC-verified bytes (the
+// flapping peer's retries absorb the flaps), zero damaged values, and
+// the dead peer's breaker ends open while the flapping peer's — whose
+// failures are interleaved with successes — stays closed.
+func TestChaosKilledAndFlappingPeers(t *testing.T) {
+	warm := newStubPeer(t)
+	dead := deadAddr(t)
+	const keys = 50
+	vals := make(map[int][]byte, keys)
+	for i := 0; i < keys; i++ {
+		vals[i] = []byte(fmt.Sprintf(`{"result":%d}`, i))
+		warm.put(testKey(i), vals[i])
+	}
+
+	var seen sync.Map // URL -> first attempt already flapped
+	warmHost := warm.addr()
+	cfg := fastCfg(selfAddr, selfAddr, warmHost, dead)
+	// The warm peer's failures are transient and interleaved with
+	// successes; give its breaker margin so only a genuinely sustained
+	// failure run would trip it. The dead peer fails every attempt, so it
+	// blows through this threshold regardless.
+	cfg.BreakerFailures = 8
+	cfg.Transport = &FaultTripper{Hook: func(req *http.Request) *Fault {
+		if req.URL.Host == warmHost {
+			if _, loaded := seen.LoadOrStore(req.URL.String(), true); !loaded {
+				return &Fault{Err: errors.New("injected flap")}
+			}
+		}
+		return nil
+	}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	var wrong atomic.Uint64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				got, ok := c.Fetch(testKey(i))
+				if !ok || string(got) != string(vals[i]) {
+					wrong.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d/%d fetches failed or returned wrong bytes under chaos", n, 8*keys)
+	}
+	if ps := peerStatsOf(t, c, dead); ps.Breaker != "open" {
+		t.Errorf("dead peer breaker %q, want open", ps.Breaker)
+	}
+	if ps := peerStatsOf(t, c, warmHost); ps.Breaker != "closed" {
+		t.Errorf("flapping peer breaker %q, want closed (failures interleaved with successes)", ps.Breaker)
+	}
+	if c.Healthy() {
+		t.Error("cluster with a dead peer reports healthy")
+	}
+}
+
+// TestReplicateToStorelessPeerAbsorbed: a 404 on put (a peer without a
+// durable store) is absorbed as success — the peer is alive — so it
+// neither counts as a replication error nor trips the breaker.
+func TestReplicateToStorelessPeerAbsorbed(t *testing.T) {
+	sp := newStubPeer(t)
+	sp.noStore = true
+	c, err := New(fastCfg(selfAddr, selfAddr, sp.addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Replicate(testKey(30), []byte(`{}`))
+	c.FlushReplication()
+	ps := peerStatsOf(t, c, sp.addr())
+	if ps.ReplicationErrors != 0 || ps.Breaker != "closed" {
+		t.Errorf("storeless peer: repErrs=%d breaker=%s, want 0/closed", ps.ReplicationErrors, ps.Breaker)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+)
+
+// FaultTripper is an http.RoundTripper that injects network failures
+// between a Cluster and its peers — the network analogue of the store's
+// FaultFS (and, before that, sim.Faults): every failure mode the cluster
+// tier claims to absorb is exercised through here by an injected-fault
+// test, under -race, rather than asserted in prose.
+//
+// Hook is consulted once per request with the outgoing request and
+// returns the fault to inject, or nil to pass the request through
+// untouched. Faults compose in order: latency first (canceled early if
+// the request's context expires, exactly like a slow network), then a
+// transport error, then response-body damage. Flapping peers, dead peers
+// and slow peers are all Hook closures over a counter or an address set;
+// see the cluster and server chaos tests for the idioms.
+//
+// A FaultTripper with a nil Hook is a transparent proxy. Safe for
+// concurrent use if the Hook is.
+type FaultTripper struct {
+	// Base performs the real round trip; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Hook decides the fault for each request; nil injects nothing.
+	Hook func(req *http.Request) *Fault
+}
+
+// Fault describes one injected network failure.
+type Fault struct {
+	// Latency delays the round trip; the request's context deadline still
+	// applies during the delay, so an attempt timeout fires exactly as it
+	// would against a slow peer.
+	Latency time.Duration
+	// Err, when non-nil, fails the round trip after the latency — a
+	// refused connection, a reset, a black-holed packet.
+	Err error
+	// CorruptBody flips one bit in the middle of the response body,
+	// modeling payload damage the CRC check must catch.
+	CorruptBody bool
+	// TruncateBody, when > 0, keeps only the first TruncateBody bytes of
+	// the response body — a connection cut mid-transfer. (<= 0 disables.)
+	TruncateBody int
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	var fault *Fault
+	if f.Hook != nil {
+		fault = f.Hook(req)
+	}
+	if fault != nil && fault.Latency > 0 {
+		t := time.NewTimer(fault.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if fault != nil && fault.Err != nil {
+		return nil, fault.Err
+	}
+	base := f.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || fault == nil || (!fault.CorruptBody && fault.TruncateBody <= 0) {
+		return resp, err
+	}
+	// Body damage: materialize, mutate, re-wrap. The client reads the
+	// replacement reader directly, so a truncated body arrives short (and
+	// fails CRC verification) rather than erroring at the transport.
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if fault.CorruptBody && len(body) > 0 {
+		body[len(body)/2] ^= 0x40
+	}
+	if fault.TruncateBody > 0 && len(body) > fault.TruncateBody {
+		body = body[:fault.TruncateBody]
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	return resp, nil
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+
+	"lacc/internal/store"
+)
+
+// The consistent-hash ring mapping result fingerprints onto owner peers.
+//
+// Every peer contributes ringVnodes virtual points, each at the SHA-256 of
+// "addr#i" truncated to 64 bits; a key lands at the first point clockwise
+// from the first 8 bytes of its fingerprint (itself a SHA-256, so already
+// uniform), and its K owners are the first K *distinct* peers from there.
+// Two properties matter and both are pinned by tests:
+//
+//   - Determinism: every node in the cluster derives the identical ring
+//     from the identical -peers list, whatever order the list was typed
+//     in on each node, so "who owns this key" needs no coordination.
+//   - Stability: adding or removing one peer remaps only the keys that
+//     peer's arcs cover (~1/N of the space), unlike hash-mod-N which
+//     remaps almost everything — exactly the property that lets a cold
+//     replica join a warm cluster and fetch its share instead of
+//     invalidating everyone's.
+type ring struct {
+	points []ringPoint
+	npeers int
+}
+
+// ringPoint is one virtual node: a position on the ring owned by a peer
+// index.
+type ringPoint struct {
+	hash uint64
+	peer int
+}
+
+// ringVnodes is the virtual-node count per peer: enough that the largest
+// arc imbalance across a handful of peers stays small, cheap enough that
+// ring construction is trivial.
+const ringVnodes = 64
+
+// newRing builds the ring over peers. The peer list is hashed
+// order-independently (each point depends only on the address string), so
+// every cluster node computes the same ring; callers index the returned
+// owner positions into their own peer slice, which must be the sorted,
+// deduplicated list used here.
+func newRing(peers []string) *ring {
+	r := &ring{
+		points: make([]ringPoint, 0, len(peers)*ringVnodes),
+		npeers: len(peers),
+	}
+	for i, addr := range peers {
+		for v := 0; v < ringVnodes; v++ {
+			sum := sha256.Sum256([]byte(addr + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{
+				hash: binary.BigEndian.Uint64(sum[:8]),
+				peer: i,
+			})
+		}
+	}
+	// Ties (a 64-bit collision between two peers' points) are next to
+	// impossible, but the sort must still be total for determinism.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].peer < r.points[b].peer
+	})
+	return r
+}
+
+// keyHash places a fingerprint on the ring: the key is already a SHA-256,
+// so its first 8 bytes are uniform.
+func keyHash(key store.Key) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}
+
+// owners returns the indices of the first k distinct peers clockwise from
+// h, in ring order (the fetch preference order). k is clamped to the peer
+// count.
+func (r *ring) owners(h uint64, k int) []int {
+	if k > r.npeers {
+		k = r.npeers
+	}
+	if k <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, k)
+	seen := make([]bool, r.npeers)
+	for n := 0; len(out) < k && n < len(r.points); n++ {
+		pt := r.points[(start+n)%len(r.points)]
+		if !seen[pt.peer] {
+			seen[pt.peer] = true
+			out = append(out, pt.peer)
+		}
+	}
+	return out
+}

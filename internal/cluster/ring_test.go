@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"lacc/internal/store"
+)
+
+// testKey derives a distinct fingerprint-shaped key for index i.
+func testKey(i int) store.Key {
+	return store.Key(sha256.Sum256(binary.BigEndian.AppendUint64(nil, uint64(i))))
+}
+
+// TestRingDeterministicAcrossOrder pins the property the cluster depends
+// on for coordination-free placement: every node, whatever order its
+// -peers flag listed the membership in, derives the identical owner set
+// for every key. (New sorts the address list before building the ring;
+// this test exercises the whole path.)
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := New(Config{Self: "h1:1", Peers: []string{"h1:1", "h2:2", "h3:3"}, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: "h3:3", Peers: []string{"h3:3", "h1:1", "h2:2"}, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 200; i++ {
+		h := keyHash(testKey(i))
+		oa := a.ring.owners(h, 2)
+		ob := b.ring.owners(h, 2)
+		// Indices are into the sorted peer slice, identical on both.
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("key %d: owners %v on node a, %v on node b", i, oa, ob)
+		}
+	}
+}
+
+// TestRingBalance asserts no peer owns a degenerate share of the space:
+// with 64 virtual nodes per peer, each of 4 peers should be primary owner
+// of a healthy fraction of 2000 keys.
+func TestRingBalance(t *testing.T) {
+	r := newRing([]string{"a:1", "b:1", "c:1", "d:1"})
+	counts := make([]int, 4)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.owners(keyHash(testKey(i)), 1)[0]]++
+	}
+	for p, n := range counts {
+		if n < keys/10 {
+			t.Errorf("peer %d is primary for only %d/%d keys; ring badly imbalanced %v", p, n, keys, counts)
+		}
+	}
+}
+
+// TestRingStabilityOnJoin pins the consistent-hashing property: adding a
+// peer remaps roughly its fair share of primary ownership (~1/N), not the
+// bulk of the keyspace as hash-mod-N would.
+func TestRingStabilityOnJoin(t *testing.T) {
+	before := newRing([]string{"a:1", "b:1", "c:1"})
+	after := newRing([]string{"a:1", "b:1", "c:1", "d:1"})
+	// Peer indices are positional; the sorted lists agree on a/b/c at
+	// 0/1/2, with d appended at 3.
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		h := keyHash(testKey(i))
+		ob, oa := before.owners(h, 1)[0], after.owners(h, 1)[0]
+		if oa != ob {
+			if oa != 3 {
+				t.Fatalf("key %d moved from peer %d to %d, not to the joining peer", i, ob, oa)
+			}
+			moved++
+		}
+	}
+	// Fair share is 1/4; allow generous slack but fail on mod-N-style
+	// wholesale remapping.
+	if moved > keys/2 {
+		t.Errorf("%d/%d primaries moved on a 3->4 join; want roughly 1/4", moved, keys)
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the joining peer; ring ignores membership")
+	}
+}
+
+// TestRingOwnersClamped covers the K >= N and empty edge cases.
+func TestRingOwnersClamped(t *testing.T) {
+	r := newRing([]string{"a:1", "b:1"})
+	if got := r.owners(42, 5); len(got) != 2 {
+		t.Errorf("owners with k>n returned %v, want both peers", got)
+	}
+	if got := r.owners(42, 0); got != nil {
+		t.Errorf("owners with k=0 returned %v, want nil", got)
+	}
+}
+
+// TestNewValidation pins the membership rules: self must be listed,
+// duplicates and empties rejected.
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Self: "a:1", Peers: nil},
+		{Self: "", Peers: []string{"a:1"}},
+		{Self: "x:9", Peers: []string{"a:1", "b:2"}},
+		{Self: "a:1", Peers: []string{"a:1", "a:1"}},
+		{Self: "a:1", Peers: []string{"a:1", ""}},
+	}
+	for i, cfg := range cases {
+		if c, err := New(cfg); err == nil {
+			c.Close()
+			t.Errorf("case %d: New(%+v) succeeded, want error", i, cfg)
+		}
+	}
+}

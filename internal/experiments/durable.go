@@ -139,26 +139,37 @@ func (s *Session) loadStored(k runKey) (*sim.Result, bool) {
 	return res, true
 }
 
-// storeResult appends a freshly simulated result to the disk tier. Called
-// after the in-memory entry is published, so waiters never block on disk
-// I/O. Errors are absorbed: a failed write costs future disk hits for this
-// fingerprint, nothing else.
+// storeResult writes a freshly simulated result behind to the lower
+// tiers: appended to the disk tier and offered to the peers that own its
+// key. Called after the in-memory entry is published, so waiters never
+// block on disk or network I/O (peer replication is additionally
+// asynchronous inside the cluster client). Errors are absorbed: a failed
+// write costs future disk or peer hits for this fingerprint, nothing
+// else.
 func (s *Session) storeResult(k runKey, res *sim.Result) {
-	if s.store == nil {
+	if s.store == nil && s.peers == nil {
 		return
 	}
 	b, err := encodeResult(res)
-	if err == nil {
-		err = s.store.Put(storeKey(k), b)
-	}
 	if err != nil {
 		s.noteDiskError()
-		s.logf("experiments: persisting result for %s: %v", k.bench, err)
+		s.logf("experiments: encoding result for %s: %v", k.bench, err)
 		return
 	}
-	s.mu.Lock()
-	s.diskWrites++
-	s.mu.Unlock()
+	key := storeKey(k)
+	if s.store != nil {
+		if err := s.store.Put(key, b); err != nil {
+			s.noteDiskError()
+			s.logf("experiments: persisting result for %s: %v", k.bench, err)
+		} else {
+			s.mu.Lock()
+			s.diskWrites++
+			s.mu.Unlock()
+		}
+	}
+	if s.peers != nil {
+		s.peers.Replicate(key, b)
+	}
 }
 
 // noteDiskError counts one absorbed durable-tier failure.

@@ -402,6 +402,10 @@ func (o Options) resolve(sess *Session, worker **sim.Simulator, k runKey, j job,
 		e.res = res
 		return false
 	}
+	if res, ok := sess.loadPeer(k); ok {
+		e.res = res
+		return false
+	}
 	sess.noteSimulated()
 	e.res, e.err = o.runOneSafe(worker, j)
 	return e.err == nil

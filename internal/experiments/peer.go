@@ -1,0 +1,58 @@
+package experiments
+
+import "lacc/internal/sim"
+
+// The cluster tier: a Session constructed with NewSessionWithTiers
+// consults its peers between the durable store and the simulator. Peers
+// are a cache below a cache below a cache — the same contract as the
+// disk tier, one hop further out: every failure mode (no peers, network
+// partitions, slow peers, damaged transfers) degrades to recomputation
+// and is never surfaced to experiment callers. Single-flight holds
+// across all three tiers because only the goroutine that claimed a
+// fingerprint's entry consults them.
+
+// loadPeer consults the cluster tier for k. The fetched record carries
+// the same canonical-JSON encoding the disk tier stores, so a hit is
+// warmed into the local store verbatim — the next restart (or flush)
+// serves it from disk without another network hop, and the bytes served
+// stay identical on every node.
+func (s *Session) loadPeer(k runKey) (*sim.Result, bool) {
+	if s.peers == nil {
+		return nil, false
+	}
+	key := storeKey(k)
+	val, ok := s.peers.Fetch(key)
+	if !ok {
+		return nil, false
+	}
+	res, err := decodeResult(val)
+	if err != nil {
+		// The transfer passed its checksum but does not parse — a peer
+		// running an incompatible build (which the schema fingerprint
+		// should prevent) or a store format drift. Recompute.
+		s.notePeerError()
+		s.logf("experiments: peer result for %s undecodable (%v); recomputing", k.bench, err)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.peerHits++
+	s.mu.Unlock()
+	if s.store != nil {
+		if err := s.store.Put(key, val); err != nil {
+			s.noteDiskError()
+			s.logf("experiments: warming peer result for %s to disk: %v", k.bench, err)
+		} else {
+			s.mu.Lock()
+			s.diskWrites++
+			s.mu.Unlock()
+		}
+	}
+	return res, true
+}
+
+// notePeerError counts one absorbed cluster-tier failure.
+func (s *Session) notePeerError() {
+	s.mu.Lock()
+	s.peerErrors++
+	s.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"lacc/internal/store"
+)
+
+// fakePeers is an in-memory PeerTier: the cluster client's contract
+// without its network. Setting garbage serves bytes that cannot decode,
+// modeling an incompatible peer the CRC check cannot catch.
+type fakePeers struct {
+	mu      sync.Mutex
+	m       map[store.Key][]byte
+	fetches int
+	reps    int
+	garbage bool
+}
+
+func newFakePeers() *fakePeers { return &fakePeers{m: map[store.Key][]byte{}} }
+
+func (f *fakePeers) Fetch(key store.Key) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches++
+	if f.garbage {
+		return []byte("not json"), true
+	}
+	v, ok := f.m[key]
+	return v, ok
+}
+
+func (f *fakePeers) Replicate(key store.Key, val []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reps++
+	f.m[key] = append([]byte(nil), val...)
+}
+
+// TestPeerWarmJoinByteIdentical is the cold-replica contract at the
+// session level: a node that computed a sweep replicates every result to
+// the tier; a second, completely cold node (empty memory, empty disk)
+// joining the same tier serves the identical sweep with zero simulations
+// — every claim lands as a peer hit, and the fetched records are warmed
+// into its local store for the next restart.
+func TestPeerWarmJoinByteIdentical(t *testing.T) {
+	peers := newFakePeers()
+
+	sessA := NewSessionWithTiers(nil, peers, t.Logf)
+	rA, err := RunPCTSweep(durableOpts(sessA), durablePCTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa := sessA.Stats(); sa.Simulated != 4 || peers.reps != 4 {
+		t.Fatalf("computing node: %+v with %d replications, want 4 simulated / 4 replicated", sa, peers.reps)
+	}
+
+	stB := openStore(t, t.TempDir(), store.Options{})
+	defer stB.Close()
+	sessB := NewSessionWithTiers(stB, peers, t.Logf)
+	rB, err := RunPCTSweep(durableOpts(sessB), durablePCTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := sessB.Stats()
+	if sb.Simulated != 0 || sb.PeerHits != 4 {
+		t.Fatalf("cold replica: %+v, want 0 simulated, 4 peer hits", sb)
+	}
+	if sb.DiskWrites != 4 {
+		t.Fatalf("cold replica warmed %d results to disk, want 4 (%+v)", sb.DiskWrites, sb)
+	}
+
+	jA, _ := json.Marshal(rA)
+	jB, _ := json.Marshal(rB)
+	if !bytes.Equal(jA, jB) {
+		t.Fatal("peer-served sweep differs from the node that computed it")
+	}
+
+	// Third life: restart the replica (new session, same store, peer tier
+	// gone) — the warmed records serve the sweep from disk.
+	sessC := NewSessionWithStore(stB, t.Logf)
+	rC, err := RunPCTSweep(durableOpts(sessC), durablePCTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := sessC.Stats(); sc.Simulated != 0 || sc.DiskHits != 4 {
+		t.Fatalf("restart after warm-join: %+v, want 0 simulated, 4 disk hits", sc)
+	}
+	jC, _ := json.Marshal(rC)
+	if !bytes.Equal(jB, jC) {
+		t.Fatal("disk-warmed sweep differs from the peer-served one")
+	}
+}
+
+// TestDiskTierConsultedBeforePeers pins the tier order: a result already
+// on local disk must never cost a network fetch.
+func TestDiskTierConsultedBeforePeers(t *testing.T) {
+	st := openStore(t, t.TempDir(), store.Options{})
+	defer st.Close()
+	if _, err := RunPCTSweep(durableOpts(NewSessionWithStore(st, t.Logf)), durablePCTs); err != nil {
+		t.Fatal(err)
+	}
+
+	peers := newFakePeers()
+	sess := NewSessionWithTiers(st, peers, t.Logf)
+	if _, err := RunPCTSweep(durableOpts(sess), durablePCTs); err != nil {
+		t.Fatal(err)
+	}
+	if s := sess.Stats(); s.DiskHits != 4 || s.PeerHits != 0 {
+		t.Fatalf("stats %+v, want all 4 claims served from disk", s)
+	}
+	if peers.fetches != 0 {
+		t.Fatalf("%d peer fetches for disk-resident results, want 0", peers.fetches)
+	}
+}
+
+// TestUndecodablePeerResultRecomputes: a peer serving well-checksummed
+// nonsense costs a counter and a recomputation, never a failed sweep.
+func TestUndecodablePeerResultRecomputes(t *testing.T) {
+	peers := newFakePeers()
+	peers.garbage = true
+	sess := NewSessionWithTiers(nil, peers, t.Logf)
+	if _, err := RunPCTSweep(durableOpts(sess), durablePCTs); err != nil {
+		t.Fatalf("sweep failed because the peer tier did: %v", err)
+	}
+	if s := sess.Stats(); s.Simulated != 4 || s.PeerErrors != 4 || s.PeerHits != 0 {
+		t.Fatalf("stats %+v, want 4 simulated, 4 absorbed peer errors", s)
+	}
+}

@@ -47,6 +47,10 @@ type Session struct {
 	// read-through before simulating, write-behind after publishing. See
 	// durable.go.
 	store *store.Store
+	// peers, when non-nil, is the cluster tier below the durable one:
+	// results other nodes already computed, fetched before simulating and
+	// replicated to after. See peer.go.
+	peers PeerTier
 	logf  func(format string, args ...any)
 
 	// Cache-effectiveness counters (see SessionStats).
@@ -57,6 +61,26 @@ type Session struct {
 	diskHits   uint64
 	diskWrites uint64
 	diskErrors uint64
+	peerHits   uint64
+	peerErrors uint64
+}
+
+// PeerTier is the cluster tier a session consults below its durable
+// store: a best-effort, remotely replicated result cache. Implemented by
+// cluster.Cluster; defined here so the experiments package does not
+// import the cluster machinery (or force it on library users).
+//
+// Both methods must be safe for concurrent use and must degrade rather
+// than fail: Fetch reports a miss for every error condition (the caller
+// simulates), and Replicate is fire-and-forget.
+type PeerTier interface {
+	// Fetch returns the stored bytes for key from whichever peer owns it,
+	// or ok=false on miss, peer failure, or timeout. Returned bytes must
+	// be integrity-checked by the implementation.
+	Fetch(key store.Key) (val []byte, ok bool)
+	// Replicate asynchronously offers key's bytes to the peers that own
+	// it. It must not block the caller on network I/O.
+	Replicate(key store.Key, val []byte)
 }
 
 // NewSession returns an empty session with no durable tier.
@@ -76,14 +100,31 @@ func NewSession() *Session {
 // which is exactly the restart-warm semantics — memory cold, disk warm),
 // and closing the store is the caller's job.
 func NewSessionWithStore(st *store.Store, logf func(format string, args ...any)) *Session {
+	return NewSessionWithTiers(st, nil, logf)
+}
+
+// NewSessionWithTiers returns an empty session backed by up to two lower
+// tiers: st as the durable tier (as in NewSessionWithStore) and peers as
+// the cluster tier below it. A fingerprint missing from memory is looked
+// up on disk, then on the peers that own it, and only then simulated;
+// fresh and peer-fetched results are written behind to the tiers above
+// where they were found. Either tier may be nil.
+//
+// Like the store, the peer tier is never owned by the session: lacc-serve
+// keeps one cluster client across session flushes and closes it at
+// shutdown.
+func NewSessionWithTiers(st *store.Store, peers PeerTier, logf func(format string, args ...any)) *Session {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Session{runs: map[runKey]*runEntry{}, store: st, logf: logf}
+	return &Session{runs: map[runKey]*runEntry{}, store: st, peers: peers, logf: logf}
 }
 
 // Store returns the session's durable tier, nil when it has none.
 func (s *Session) Store() *store.Store { return s.store }
+
+// Peers returns the session's cluster tier, nil when it has none.
+func (s *Session) Peers() PeerTier { return s.peers }
 
 // SessionStats is a snapshot of a session's cache-effectiveness counters.
 // All counts are claims, i.e. distinct fingerprints a batch resolved
@@ -115,6 +156,12 @@ type SessionStats struct {
 	// records, failed appends); each one degraded to recomputation or a
 	// lost write-behind, never to a failed experiment.
 	DiskErrors uint64 `json:"disk_errors"`
+	// PeerHits counts claims satisfied by the cluster tier (a result
+	// fetched from a peer instead of simulating); PeerErrors counts
+	// absorbed cluster-tier failures (undecodable fetched records). Both
+	// stay zero for sessions without a peer tier.
+	PeerHits   uint64 `json:"peer_hits"`
+	PeerErrors uint64 `json:"peer_errors"`
 	// Entries is the number of results currently memoized (in flight or
 	// complete).
 	Entries int `json:"entries"`
@@ -132,6 +179,8 @@ func (s *Session) Stats() SessionStats {
 		DiskHits:   s.diskHits,
 		DiskWrites: s.diskWrites,
 		DiskErrors: s.diskErrors,
+		PeerHits:   s.peerHits,
+		PeerErrors: s.peerErrors,
 		Entries:    len(s.runs),
 	}
 }

@@ -1,0 +1,362 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lacc/internal/cluster"
+	"lacc/internal/server"
+	"lacc/internal/store"
+)
+
+// The multi-node tests run real lacc-serve handlers on real listeners —
+// peer traffic crosses actual TCP connections — with the cluster
+// clients' robustness knobs tightened so failure paths resolve in
+// milliseconds.
+
+// listen binds a loopback listener whose address peers will dial.
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// clusterConfig returns fast-failing cluster settings for one node.
+func clusterConfig(self string, peers []string, transport http.RoundTripper) cluster.Config {
+	return cluster.Config{
+		Self:            self,
+		Peers:           peers,
+		Replicas:        len(peers),
+		Budget:          5 * time.Second,
+		AttemptTimeout:  time.Second,
+		Retries:         2,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      5 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: time.Hour, // an opened breaker stays visibly open
+		Transport:       transport,
+	}
+}
+
+// startNode serves one cluster member on l. st may be nil (a storeless
+// node: it fetches from peers but answers 404 to their gets and puts).
+func startNode(t *testing.T, l net.Listener, st *store.Store, cl *cluster.Cluster) *httptest.Server {
+	t.Helper()
+	ts := &httptest.Server{
+		Listener: l,
+		Config: &http.Server{Handler: server.New(server.Config{
+			MaxInFlight: 2,
+			Parallelism: 2,
+			Store:       st,
+			Cluster:     cl,
+		})},
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// healthzOf fetches and decodes /v1/healthz.
+func healthzOf(t *testing.T, ts *httptest.Server) struct {
+	Status  string               `json:"status"`
+	Cluster server.ClusterHealth `json:"cluster"`
+} {
+	t.Helper()
+	status, body := get(t, ts, "/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+	var h struct {
+		Status  string               `json:"status"`
+		Cluster server.ClusterHealth `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	return h
+}
+
+// breakerOf returns peer addr's breaker state in h.
+func breakerOf(t *testing.T, peers []cluster.PeerStats, addr string) string {
+	t.Helper()
+	for _, p := range peers {
+		if p.Addr == addr {
+			return p.Breaker
+		}
+	}
+	t.Fatalf("no healthz entry for peer %s in %+v", addr, peers)
+	return ""
+}
+
+// TestClusterWarmJoinServesWithoutSimulating is the cold-replica
+// acceptance test over real HTTP: node A computes a sweep; node B (own
+// empty store) and node C (no store at all) then serve the identical
+// sweep byte for byte with zero simulations — B from the replicas A's
+// write-behind delivered, C by fetching from the key owners on demand.
+func TestClusterWarmJoinServesWithoutSimulating(t *testing.T) {
+	lA, lB, lC := listen(t), listen(t), listen(t)
+	members := []string{lA.Addr().String(), lB.Addr().String(), lC.Addr().String()}
+
+	stA, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	stB, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+
+	clusters := make([]*cluster.Cluster, 3)
+	for i, self := range members {
+		cl, err := cluster.New(clusterConfig(self, members, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		clusters[i] = cl
+	}
+	tsA := startNode(t, lA, stA, clusters[0])
+	tsB := startNode(t, lB, stB, clusters[1])
+	tsC := startNode(t, lC, nil, clusters[2])
+
+	// Node A computes the sweep (its peer fetches all miss — the cluster
+	// is empty) and write-behind replicates every result.
+	status, bodyA := post(t, tsA, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("warm node: %d %s", status, bodyA)
+	}
+	sA := statsOf(t, tsA)
+	if sA.Session.Simulated != 4 || sA.Cluster == nil || sA.Cluster.FetchHits != 0 {
+		t.Fatalf("warm node stats: session %+v cluster %+v, want 4 simulated and no fetch hits", sA.Session, sA.Cluster)
+	}
+	clusters[0].FlushReplication()
+
+	// Node B: every claim is served by the replicas already in its store.
+	status, bodyB := post(t, tsB, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("replica node: %d %s", status, bodyB)
+	}
+	sB := statsOf(t, tsB)
+	if sB.Session.Simulated != 0 {
+		t.Fatalf("replica node simulated %d times, want 0 (%+v)", sB.Session.Simulated, sB.Session)
+	}
+	if sB.Session.DiskHits != 4 || sB.PeerPuts != 4 {
+		t.Fatalf("replica node: %+v with %d accepted replicas, want 4 disk hits over 4 replicas", sB.Session, sB.PeerPuts)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("replica-served sweep is not byte-identical to the computing node's")
+	}
+
+	// Node C has no disk: every claim is a live peer fetch.
+	status, bodyC := post(t, tsC, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("storeless node: %d %s", status, bodyC)
+	}
+	sC := statsOf(t, tsC)
+	if sC.Session.Simulated != 0 || sC.Session.PeerHits != 4 {
+		t.Fatalf("storeless node: %+v, want 0 simulated, 4 peer hits", sC.Session)
+	}
+	if !bytes.Equal(bodyA, bodyC) {
+		t.Fatal("peer-fetched sweep is not byte-identical to the computing node's")
+	}
+	if sAg, sBg := statsOf(t, tsA).PeerGets, statsOf(t, tsB).PeerGets; sAg+sBg != 4 {
+		t.Errorf("owners served %d+%d peer gets, want 4 total", sAg, sBg)
+	}
+
+	// A healthy cluster reports so on every node.
+	for name, ts := range map[string]*httptest.Server{"a": tsA, "b": tsB, "c": tsC} {
+		if h := healthzOf(t, ts); h.Status != "ok" || h.Cluster.Mode != "ok" {
+			t.Errorf("node %s healthz: status %q cluster %q, want ok/ok", name, h.Status, h.Cluster.Mode)
+		}
+	}
+}
+
+// TestClusterChaosKilledAndFlappingPeer is the chaos contract end to
+// end: node B serves client sweeps while its only peer first flaps
+// (every key's first fetch attempt is black-holed) and is then killed
+// outright. Every client request must answer 200 — flaps absorbed by
+// retries, the dead peer absorbed by falling back to simulation — with
+// byte-identical bodies where the result was ever served before, and the
+// outage visible only in /v1/healthz (cluster "degraded", breaker
+// "open").
+func TestClusterChaosKilledAndFlappingPeer(t *testing.T) {
+	lA, lB := listen(t), listen(t)
+	addrA := lA.Addr().String()
+	members := []string{addrA, lB.Addr().String()}
+
+	stA, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+
+	clA, err := cluster.New(clusterConfig(members[0], members, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clA.Close()
+
+	// B's view of A flaps: the first attempt for every distinct URL
+	// fails, the retry goes through.
+	var seen sync.Map
+	flappy := &cluster.FaultTripper{Hook: func(req *http.Request) *cluster.Fault {
+		if req.URL.Host != addrA {
+			return nil
+		}
+		if _, loaded := seen.LoadOrStore(req.URL.String(), true); !loaded {
+			return &cluster.Fault{Err: errors.New("injected flap")}
+		}
+		return nil
+	}}
+	clB, err := cluster.New(clusterConfig(members[1], members, flappy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clB.Close()
+
+	tsA := startNode(t, lA, stA, clA)
+	tsB := startNode(t, lB, nil, clB)
+
+	// Warm A, then serve the same sweep from B through the flapping
+	// network: retries must absorb every flap.
+	status, bodyA := post(t, tsA, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("warming A: %d %s", status, bodyA)
+	}
+	status, bodyB := post(t, tsB, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK {
+		t.Fatalf("B through flaps: %d %s", status, bodyB)
+	}
+	sB := statsOf(t, tsB)
+	if sB.Session.Simulated != 0 || sB.Session.PeerHits != 4 {
+		t.Fatalf("B through flaps: %+v, want 0 simulated, 4 peer hits", sB.Session)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("sweep fetched through a flapping peer is not byte-identical")
+	}
+
+	// Kill A. A new sweep on B must still answer 200 — simulation covers
+	// the dead tier — and the repeated failures open A's breaker.
+	tsA.Close()
+	newSweep := strings.Replace(sweepBody(), "[1,4]", "[2,8]", 1)
+	status, body := post(t, tsB, "/v1/experiments/pct-sweep", newSweep)
+	if status != http.StatusOK {
+		t.Fatalf("B after killing its peer: %d %s", status, body)
+	}
+	sB = statsOf(t, tsB)
+	if sB.Session.Simulated != 4 {
+		t.Fatalf("B after peer death simulated %d, want 4 (%+v)", sB.Session.Simulated, sB.Session)
+	}
+	if sB.Errors != 0 || sB.Rejected != 0 {
+		t.Fatalf("client-visible failures after peer death: %d errors, %d rejections, want none", sB.Errors, sB.Rejected)
+	}
+	h := healthzOf(t, tsB)
+	if h.Status != "ok" {
+		t.Errorf("B's liveness %q after peer death, want ok (the node itself is fine)", h.Status)
+	}
+	if h.Cluster.Mode != "degraded" {
+		t.Errorf("B's cluster mode %q after peer death, want degraded", h.Cluster.Mode)
+	}
+	if br := breakerOf(t, h.Cluster.Peers, addrA); br != "open" {
+		t.Errorf("dead peer's breaker %q, want open", br)
+	}
+
+	// The warm results survive the outage: the first sweep still answers
+	// from B's session, byte-identically, with the cluster down.
+	status, again := post(t, tsB, "/v1/experiments/pct-sweep", sweepBody())
+	if status != http.StatusOK || !bytes.Equal(again, bodyB) {
+		t.Fatalf("warm sweep after peer death: %d, identical=%v", status, bytes.Equal(again, bodyB))
+	}
+}
+
+// TestPeerEndpoints pins the server side of the peer wire contract:
+// hex-keyed gets and puts, CRC framing in both directions, 404 as the
+// authoritative miss, and damaged replicas rejected before they reach
+// the store.
+func TestPeerEndpoints(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := newTestServer(t, server.Config{Store: st})
+	key := strings.Repeat("ab", 32)
+	val := []byte(`{"result":42}`)
+
+	put := func(base, path string, body []byte, crc string) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, base+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crc != "" {
+			req.Header.Set(cluster.CRCHeader, crc)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if status, body := get(t, ts, "/v1/peer/get/nothex"); status != http.StatusBadRequest {
+		t.Errorf("get with malformed key: %d %s, want 400", status, body)
+	}
+	if status, body := get(t, ts, "/v1/peer/get/"+key); status != http.StatusNotFound {
+		t.Errorf("get of an absent key: %d %s, want 404", status, body)
+	}
+	if status, body := put(ts.URL, "/v1/peer/put/"+key, val, ""); status != http.StatusBadRequest {
+		t.Errorf("put without checksum: %d %s, want 400", status, body)
+	}
+	if status, body := put(ts.URL, "/v1/peer/put/"+key, val, cluster.CRC([]byte("other bytes"))); status != http.StatusBadRequest {
+		t.Errorf("put with wrong checksum: %d %s, want 400", status, body)
+	}
+	if status, body := put(ts.URL, "/v1/peer/put/"+key, val, cluster.CRC(val)); status != http.StatusNoContent {
+		t.Fatalf("valid put: %d %s, want 204", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/peer/get/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, val) {
+		t.Fatalf("get after put: %d %q, want the stored bytes", resp.StatusCode, got)
+	}
+	if err := cluster.VerifyCRC(got, resp.Header.Get(cluster.CRCHeader)); err != nil {
+		t.Fatalf("get response checksum: %v", err)
+	}
+
+	s := statsOf(t, ts)
+	if s.PeerGets != 1 || s.PeerPuts != 1 {
+		t.Errorf("peer counters gets=%d puts=%d, want 1/1", s.PeerGets, s.PeerPuts)
+	}
+
+	// A storeless node answers 404 to the whole protocol: gets have
+	// nothing to serve, and replicas have nowhere to land (the
+	// replicating peer absorbs the 404 without penalizing the node).
+	bare := newTestServer(t, server.Config{})
+	if status, _ := get(t, bare, "/v1/peer/get/"+key); status != http.StatusNotFound {
+		t.Errorf("storeless get: %d, want 404", status)
+	}
+	if status, body := put(bare.URL, "/v1/peer/put/"+key, val, cluster.CRC(val)); status != http.StatusNotFound {
+		t.Errorf("storeless put: %d %s, want 404", status, body)
+	}
+}

@@ -1,0 +1,74 @@
+package server_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"lacc/internal/server"
+	"lacc/internal/store"
+)
+
+// TestServerServesThroughDiskFaults drives the whole HTTP stack over a
+// filesystem that rejects every write after the store opens: each
+// request must still answer 200 (results recomputed instead of
+// persisted), the absorbed failures must surface as disk_errors in
+// /v1/stats, and /v1/healthz must flip the store's mode to "degraded"
+// while the liveness status stays ok.
+func TestServerServesThroughDiskFaults(t *testing.T) {
+	var failing atomic.Bool
+	ffs := &store.FaultFS{Hook: func(op store.Op, path string) error {
+		if failing.Load() && op == store.OpWrite {
+			return errors.New("injected write error")
+		}
+		return nil
+	}}
+	st, err := store.Open(store.Options{Dir: t.TempDir(), FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	failing.Store(true)
+
+	ts := newTestServer(t, server.Config{MaxInFlight: 2, Parallelism: 2, Store: st})
+
+	// Two sweeps: the first simulates and fails every write-behind, the
+	// second is served from the session cache — neither may surface the
+	// disk trouble.
+	for i := 0; i < 2; i++ {
+		if status, body := post(t, ts, "/v1/experiments/pct-sweep", sweepBody()); status != http.StatusOK {
+			t.Fatalf("sweep %d over a failing disk: %d %s", i, status, body)
+		}
+	}
+
+	s := statsOf(t, ts)
+	if s.Session.Simulated != 4 || s.Session.DiskWrites != 0 {
+		t.Fatalf("session %+v, want 4 simulated and 0 successful writes", s.Session)
+	}
+	if s.Session.DiskErrors != 4 {
+		t.Fatalf("session absorbed %d disk errors, want 4 (%+v)", s.Session.DiskErrors, s.Session)
+	}
+	if s.Errors != 0 {
+		t.Fatalf("%d client-visible errors from a failing disk, want 0", s.Errors)
+	}
+
+	status, body := get(t, ts, "/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+	var h struct {
+		Status string             `json:"status"`
+		Store  server.StoreHealth `json:"store"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("liveness %q with a degraded store, want ok", h.Status)
+	}
+	if h.Store.Mode != "degraded" {
+		t.Errorf("store mode %q after absorbed write faults, want degraded", h.Store.Mode)
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"lacc/internal/cluster"
 	"lacc/internal/experiments"
 	"lacc/internal/sim"
 	"lacc/internal/store"
@@ -22,6 +25,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/admin/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /v1/peer/get/{key}", s.handlePeerGet)
+	s.mux.HandleFunc("PUT /v1/peer/put/{key}", s.handlePeerPut)
 	for name, exec := range executors {
 		pattern := "POST /v1/experiments/" + name
 		if name == "run" {
@@ -230,6 +235,8 @@ func (s *Server) executeAdmitted(ctx context.Context, q *Request, exec execFunc,
 				code: "panic", msg: fmt.Sprintf("internal error (experiment execution panicked: %v)", p)}
 		}
 	}()
+	start := time.Now()
+	defer func() { s.stats.noteExecDuration(time.Since(start)) }()
 	o := s.requestOptions(ctx, q)
 	o.Progress = progress
 	v, err := exec(ctx, s, q, o)
@@ -296,7 +303,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		status = 499
 	}
-	if status != http.StatusTooManyRequests { // rejected is its own counter
+	if status == http.StatusTooManyRequests {
+		// rejected is its own counter; tell the client when a slot is
+		// plausibly free instead of leaving it to guess a retry cadence.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	} else {
 		s.stats.errors.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -355,14 +366,17 @@ func (s *Server) storeHealth() StoreHealth {
 	}
 }
 
-// handleHealthz reports liveness plus the durable tier's mode. A degraded
-// store does not fail the health check — the server serves through it by
-// recomputing — but the mode flips to "degraded" so operators see it.
+// handleHealthz reports liveness plus each optimization tier's mode.
+// Neither a degraded store nor a degraded cluster fails the health check
+// — the server serves through both by recomputing — but the modes flip
+// to "degraded" so operators see which peers are down and which breakers
+// are open.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"store":  s.storeHealth(),
+		"status":  "ok",
+		"store":   s.storeHealth(),
+		"cluster": s.clusterHealth(),
 	})
 }
 
@@ -443,6 +457,13 @@ type Stats struct {
 	// Store is the durable result store's full snapshot (segments, bytes,
 	// hits, recovery outcome); nil when serving without one.
 	Store *store.Stats `json:"store,omitempty"`
+	// Cluster is the peer tier's snapshot (per-peer traffic and breaker
+	// state); nil when serving without one. PeerGets and PeerPuts count
+	// this node's side of the peer protocol: fetches it answered from its
+	// local store and replicas it accepted into it.
+	Cluster  *cluster.Stats `json:"cluster,omitempty"`
+	PeerGets uint64         `json:"peer_gets,omitempty"`
+	PeerPuts uint64         `json:"peer_puts,omitempty"`
 	// CorpusBuilds counts workload trace generations process-wide (each
 	// distinct (benchmark, cores, scale, seed) builds once).
 	CorpusBuilds uint64 `json:"corpus_builds"`
@@ -454,6 +475,11 @@ func (s *Server) snapshotStats() Stats {
 	if st := s.session.Load().Store(); st != nil {
 		sst := st.Stats()
 		storeStats = &sst
+	}
+	var clusterStats *cluster.Stats
+	if s.cfg.Cluster != nil {
+		cst := s.cfg.Cluster.Stats()
+		clusterStats = &cst
 	}
 	return Stats{
 		Requests:          s.stats.requests.Load(),
@@ -473,6 +499,9 @@ func (s *Server) snapshotStats() Stats {
 		MaxQueue:          s.cfg.MaxQueue,
 		Session:           s.session.Load().Stats(),
 		Store:             storeStats,
+		Cluster:           clusterStats,
+		PeerGets:          s.stats.peerGets.Load(),
+		PeerPuts:          s.stats.peerPuts.Load(),
 		CorpusBuilds:      workloads.CorpusBuilds(),
 	}
 }
@@ -485,15 +514,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleFlush drops the session result cache (in-flight batches keep the
 // session they started with) and the process-wide corpus cache, bounding
-// memory on a long-lived server. The durable tier is deliberately kept:
-// the replacement session attaches to the same store, so a flush leaves
-// the server exactly restart-warm — memory cold, disk hot — and repeating
-// a flushed sweep re-decodes results instead of re-simulating them. The
-// response reports the stats snapshot taken just before the flush.
+// memory on a long-lived server. The lower tiers are deliberately kept:
+// the replacement session attaches to the same store and the same peer
+// cluster, so a flush leaves the server exactly restart-warm — memory
+// cold, disk and peers hot — and repeating a flushed sweep re-decodes
+// results instead of re-simulating them. The response reports the stats
+// snapshot taken just before the flush.
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	before := s.snapshotStats()
-	s.session.Store(experiments.NewSessionWithStore(s.session.Load().Store(), s.cfg.Logf))
+	old := s.session.Load()
+	s.session.Store(experiments.NewSessionWithTiers(old.Store(), old.Peers(), s.cfg.Logf))
 	workloads.FlushCorpora()
 	s.stats.flushes.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"flushed": true, "before": before})

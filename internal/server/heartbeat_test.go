@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lacc/internal/server"
+)
+
+// TestSSEHeartbeatInterleavesWithProgress pins the stream-keepalive
+// contract: with execution slowed well past the heartbeat cadence, the
+// raw SSE body carries comment pings between the progress events — so a
+// proxy idle timer always sees traffic — and the events themselves are
+// untouched by the interleaving.
+func TestSSEHeartbeatInterleavesWithProgress(t *testing.T) {
+	slowFault(t, 150*time.Millisecond)
+	ts := newTestServer(t, server.Config{
+		MaxInFlight:  2,
+		Parallelism:  1, // serialize the 4 simulations: ≥600ms of gaps
+		SSEHeartbeat: 25 * time.Millisecond,
+	})
+
+	resp, err := http.Post(ts.URL+"/v1/experiments/pct-sweep?stream=sse",
+		"application/json", strings.NewReader(sweepBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	if n := strings.Count(body, ": ping"); n < 2 {
+		t.Errorf("stream carried %d heartbeats over ~600ms at a 25ms cadence, want at least 2\n%s", n, body)
+	}
+	if !strings.Contains(body, "event: progress") || !strings.Contains(body, "event: result") {
+		t.Fatalf("heartbeats displaced the real events:\n%s", body)
+	}
+	// Heartbeats are comments: strip them and the stream must parse as
+	// the usual event sequence ending in a result.
+	var events []string
+	for _, block := range strings.Split(body, "\n\n") {
+		if block == "" || strings.HasPrefix(block, ": ") {
+			continue
+		}
+		events = append(events, strings.SplitN(block, "\n", 2)[0])
+	}
+	if len(events) == 0 || events[len(events)-1] != "event: result" {
+		t.Fatalf("stream without heartbeats does not end in a result event: %v", events)
+	}
+}
+
+// TestSSEHeartbeatDisabled: a negative cadence turns heartbeats off
+// entirely.
+func TestSSEHeartbeatDisabled(t *testing.T) {
+	slowFault(t, 100*time.Millisecond)
+	ts := newTestServer(t, server.Config{SSEHeartbeat: -1})
+	resp, err := http.Post(ts.URL+"/v1/experiments/pct-sweep?stream=sse",
+		"application/json", strings.NewReader(sweepBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), ": ping") {
+		t.Fatalf("disabled heartbeat still pinged:\n%s", raw)
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lacc/internal/cluster"
+	"lacc/internal/store"
+)
+
+// The server side of the peer protocol: two endpoints exposing this
+// node's durable store to other cluster members, bodies CRC-framed in
+// both directions (cluster.CRCHeader). They are deliberately dumb — a
+// keyed byte store over HTTP — so every robustness decision (retries,
+// breakers, budgets) lives in the client tier where it is testable with
+// injected faults. The endpoints are served even when Config.Cluster is
+// nil: membership is the fetching node's concern, and a node addressed
+// by a stale peer list merely answers 404s.
+
+// maxPeerValueBytes bounds one accepted replica body, mirroring the
+// cluster client's transfer cap.
+const maxPeerValueBytes = 16 << 20
+
+// peerKey parses the {key} path segment (the hex form of a store key).
+func peerKey(r *http.Request) (store.Key, bool) {
+	var k store.Key
+	b, err := hex.DecodeString(r.PathValue("key"))
+	if err != nil || len(b) != len(k) {
+		return k, false
+	}
+	copy(k[:], b)
+	return k, true
+}
+
+// writePeerError answers a peer-protocol request with a JSON error.
+// Peer misses and malformed peer traffic are kept out of the client
+// error counter — they are cluster traffic, tallied by the peer
+// counters, not failed API requests.
+func writePeerError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(body, '\n'))
+}
+
+// handlePeerGet serves one stored result's canonical bytes to a fetching
+// peer. 404 is the authoritative miss (no store configured, or the key
+// is absent); the body travels under its CRC-32C so the fetcher can
+// reject damaged transfers.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	key, ok := peerKey(r)
+	if !ok {
+		writePeerError(w, http.StatusBadRequest, "malformed key %q (want %d hex bytes)", r.PathValue("key"), len(key))
+		return
+	}
+	st := s.session.Load().Store()
+	if st == nil {
+		writePeerError(w, http.StatusNotFound, "no durable store on this node")
+		return
+	}
+	val, ok := st.Get(key)
+	if !ok {
+		writePeerError(w, http.StatusNotFound, "not found")
+		return
+	}
+	s.stats.peerGets.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cluster.CRCHeader, cluster.CRC(val))
+	w.Write(val)
+}
+
+// handlePeerPut accepts one replicated result into the local store. The
+// body must verify against its CRC header — a replica damaged in flight
+// is rejected, never persisted — and store failures are absorbed into a
+// 500 the replicating peer retries; its write-behind is best-effort
+// either way. 404 tells storeless nodes apart from failing ones.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	key, ok := peerKey(r)
+	if !ok {
+		writePeerError(w, http.StatusBadRequest, "malformed key %q (want %d hex bytes)", r.PathValue("key"), len(key))
+		return
+	}
+	st := s.session.Load().Store()
+	if st == nil {
+		writePeerError(w, http.StatusNotFound, "no durable store on this node")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeerValueBytes+1))
+	if err != nil {
+		writePeerError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxPeerValueBytes {
+		writePeerError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxPeerValueBytes)
+		return
+	}
+	if err := cluster.VerifyCRC(body, r.Header.Get(cluster.CRCHeader)); err != nil {
+		writePeerError(w, http.StatusBadRequest, "replica rejected: %v", err)
+		return
+	}
+	if err := st.Put(key, body); err != nil {
+		writePeerError(w, http.StatusInternalServerError, "storing replica: %v", err)
+		return
+	}
+	s.stats.peerPuts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ClusterHealth is the peer-tier section of /v1/healthz.
+type ClusterHealth struct {
+	// Mode is "disabled" (single-node), "ok" (every remote peer's breaker
+	// closed) or "degraded" (at least one peer unreachable or suspect —
+	// the node keeps serving, with simulation covering the lost hits).
+	Mode string `json:"mode"`
+	// Self is this node's own address in the membership.
+	Self string `json:"self,omitempty"`
+	// Peers carries each member's breaker state and traffic counters.
+	Peers []cluster.PeerStats `json:"peers,omitempty"`
+}
+
+// clusterHealth snapshots the peer tier.
+func (s *Server) clusterHealth() ClusterHealth {
+	c := s.cfg.Cluster
+	if c == nil {
+		return ClusterHealth{Mode: "disabled"}
+	}
+	mode := "ok"
+	if !c.Healthy() {
+		mode = "degraded"
+	}
+	st := c.Stats()
+	return ClusterHealth{Mode: mode, Self: st.Self, Peers: st.Peers}
+}

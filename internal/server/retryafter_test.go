@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterOn429 pins the Retry-After contract deterministically
+// through the admission state machine: a saturated server's 429 carries
+// a Retry-After estimate in whole seconds — the floor with no execution
+// history, and (requests ahead × recent mean execution time ÷ execution
+// lanes) once the EWMA has data.
+func TestRetryAfterOn429(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, MaxQueue: 1})
+	ctx := context.Background()
+
+	// Saturate: both slots held, the one queue slot occupied by a parked
+	// waiter.
+	for i := 0; i < 2; i++ {
+		if err := s.acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	waiterCtx, stopWaiter := context.WithCancel(ctx)
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		s.acquire(waiterCtx)
+	}()
+	for s.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	defer func() { stopWaiter(); <-waiterDone }()
+
+	reject := func() *http.Response {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/experiments/pct-sweep",
+			strings.NewReader(`{"cores":4,"scale":0.05,"benchmarks":["matmul"],"pcts":[1]}`))
+		s.ServeHTTP(rec, req)
+		resp := rec.Result()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+		}
+		return resp
+	}
+
+	// No executions observed yet: the floor estimate.
+	if got := reject().Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After with no execution history = %q, want \"1\"", got)
+	}
+
+	// With a 4s mean, one queued request and this one make 2 ahead across
+	// 2 lanes: 2 × 4s ÷ 2 = 4 seconds.
+	s.stats.noteExecDuration(4 * time.Second)
+	if got := reject().Header.Get("Retry-After"); got != "4" {
+		t.Errorf("Retry-After with 4s mean = %q, want \"4\"", got)
+	}
+
+	// The estimate is clamped: even an absurd mean advises at most 5
+	// minutes.
+	s.stats.execMeanNanos.Store(int64(2 * time.Hour))
+	if got := reject().Header.Get("Retry-After"); got != "300" {
+		t.Errorf("Retry-After clamp = %q, want \"300\"", got)
+	}
+
+	// Errors other than 429 carry no Retry-After.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(`{"workload":"nope"}`)))
+	if resp := rec.Result(); resp.StatusCode == http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "" {
+		t.Errorf("non-429 error: status %d Retry-After %q, want no header", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	s.release()
+	s.release()
+}
+
+// TestExecMeanEWMA sanity-checks the estimator's folding: it starts at
+// the first sample and moves a quarter of the way toward each new one.
+func TestExecMeanEWMA(t *testing.T) {
+	var st serverStats
+	st.noteExecDuration(time.Second)
+	if got := time.Duration(st.execMeanNanos.Load()); got != time.Second {
+		t.Fatalf("first sample: mean %v, want 1s", got)
+	}
+	st.noteExecDuration(5 * time.Second)
+	if got := time.Duration(st.execMeanNanos.Load()); got != 2*time.Second {
+		t.Fatalf("after 1s,5s samples: mean %v, want 2s", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lacc/internal/cluster"
 	"lacc/internal/experiments"
 	"lacc/internal/store"
 )
@@ -80,6 +81,20 @@ type Config struct {
 	// http.Server.Shutdown. Ignored when an explicit Session is supplied
 	// (attach the store to that session instead).
 	Store *store.Store
+	// Cluster, when non-nil, is the peer result tier: the default session
+	// consults it below the durable store (fetch from the key's owners
+	// before simulating, replicate fresh results behind), the peer
+	// endpoints serve this node's store to other members, and /v1/stats
+	// and /v1/healthz report per-peer breaker state. Like the store, the
+	// cluster client is owned by the process, not the server: close it
+	// after the HTTP listener has drained. Ignored when an explicit
+	// Session is supplied (build that session over the cluster instead).
+	Cluster *cluster.Cluster
+	// SSEHeartbeat is the idle-keepalive cadence of progress streams: a
+	// comment line (": ping") is written at this interval so proxies and
+	// clients never mistake a long simulation gap for a dead connection.
+	// 0 means 15s; < 0 disables heartbeats.
+	SSEHeartbeat time.Duration
 	// MaxRunTime bounds one experiment execution's wall clock after
 	// admission: an execution exceeding it is canceled through the
 	// experiment layer's context and answered with 503 and error code
@@ -93,10 +108,11 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	defaultMaxInFlight = 2
-	defaultMaxQueue    = 64
-	defaultMaxCores    = 256
-	defaultMaxScale    = 8.0
+	defaultMaxInFlight  = 2
+	defaultMaxQueue     = 64
+	defaultMaxCores     = 256
+	defaultMaxScale     = 8.0
+	defaultSSEHeartbeat = 15 * time.Second
 )
 
 // normalize applies the documented defaults.
@@ -105,7 +121,17 @@ func (c Config) normalize() Config {
 		c.Logf = func(string, ...any) {}
 	}
 	if c.Session == nil {
-		c.Session = experiments.NewSessionWithStore(c.Store, c.Logf)
+		// The typed-nil guard matters: assigning a nil *cluster.Cluster to
+		// the PeerTier interface directly would make the session dial a
+		// tier that isn't there.
+		var peers experiments.PeerTier
+		if c.Cluster != nil {
+			peers = c.Cluster
+		}
+		c.Session = experiments.NewSessionWithTiers(c.Store, peers, c.Logf)
+	}
+	if c.SSEHeartbeat == 0 {
+		c.SSEHeartbeat = defaultSSEHeartbeat
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = defaultMaxInFlight
@@ -177,6 +203,49 @@ type serverStats struct {
 	canceledByCtx atomic.Uint64 // executions abandoned by client disconnect
 	timeouts      atomic.Uint64 // executions canceled by MaxRunTime
 	panics        atomic.Uint64 // handler panics recovered into 500s
+	peerGets      atomic.Uint64 // peer fetches served from the local store
+	peerPuts      atomic.Uint64 // replicas accepted into the local store
+
+	// execMeanNanos is an EWMA (α = 1/4) of completed execution wall
+	// clock, feeding the Retry-After estimate on 429 responses.
+	execMeanNanos atomic.Int64
+}
+
+// noteExecDuration folds one completed execution's wall clock into the
+// EWMA. Lock-free: racing updates may each fold against the same old
+// mean, which only costs a little smoothing accuracy.
+func (st *serverStats) noteExecDuration(d time.Duration) {
+	for {
+		old := st.execMeanNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old - old/4 + int64(d)/4
+		}
+		if st.execMeanNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a rejected client should try again:
+// the requests ahead of it (every queue slot plus itself), paced by the
+// recent mean execution time across MaxInFlight lanes, clamped to
+// [1s, 5min]. With no executions observed yet the estimate is the floor.
+func (s *Server) retryAfterSeconds() int {
+	mean := time.Duration(s.stats.execMeanNanos.Load())
+	if mean <= 0 {
+		return 1
+	}
+	ahead := s.queued.Load() + 1
+	wait := time.Duration(ahead) * mean / time.Duration(s.cfg.MaxInFlight)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }
 
 // New builds the service handler for cfg.

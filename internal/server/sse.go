@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Server-sent-events progress streaming for long sweeps. A client that
@@ -103,6 +104,18 @@ func (sw *sseWriter) emit(name string, payload any) {
 	}
 }
 
+// comment emits one SSE comment line (": text") — invisible to event
+// parsers, but traffic on the wire, which is all a proxy or client
+// keepalive timer needs during a long simulation gap.
+func (sw *sseWriter) comment(text string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	fmt.Fprintf(sw.w, ": %s\n\n", text)
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+}
+
 // progress emits a monotone progress event, dropping reordered stale
 // completions.
 func (sw *sseWriter) progress(done, total int) {
@@ -147,6 +160,31 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, q *Request, ex
 	w.WriteHeader(http.StatusOK)
 	sw := &sseWriter{w: w, f: flusher}
 	s.stats.sseStreams.Add(1)
+
+	// Heartbeat: comment lines at the configured cadence keep idle-timeout
+	// middleboxes from cutting a stream whose next progress event is a
+	// long simulation away. The goroutine is joined before this handler
+	// returns — this defer is registered after the watcher's, so it runs
+	// first — because a write after ServeHTTP returns is a use of a dead
+	// ResponseWriter.
+	if hb := s.cfg.SSEHeartbeat; hb > 0 {
+		quit := make(chan struct{})
+		beatDone := make(chan struct{})
+		go func() {
+			defer close(beatDone)
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					sw.comment("ping")
+				case <-quit:
+					return
+				}
+			}
+		}()
+		defer func() { close(quit); <-beatDone }()
+	}
 
 	// The execution context ends when the client disconnects or the server
 	// drains (Drain), so shutdown is never held hostage by a long sweep.

@@ -3,6 +3,7 @@ package lacc
 import (
 	"net/http"
 
+	"lacc/internal/cluster"
 	"lacc/internal/experiments"
 	"lacc/internal/server"
 	"lacc/internal/store"
@@ -66,4 +67,31 @@ type ResultStoreStats = store.Stats
 // store and must Close it; sessions and servers sharing it never do.
 func OpenResultStore(opts ResultStoreOptions) (*ResultStore, error) {
 	return store.Open(opts)
+}
+
+// PeerCluster is the fault-tolerant peer result tier: a static membership
+// of lacc-serve nodes consistent-hashed on result fingerprints, fetched
+// from on local misses and replicated to behind fresh simulations, with
+// per-peer circuit breakers, bounded retries and a hard per-fetch latency
+// budget. Peers are an optimization tier exactly like the local disk:
+// every failure is absorbed into a counter and a recomputation, never an
+// error or unbounded delay for a client. Attach one to a server via
+// ServeConfig.Cluster; the caller owns it and must Close it after the
+// server's listener drains.
+type PeerCluster = cluster.Cluster
+
+// PeerClusterConfig configures NewPeerCluster: the node's own address,
+// the full membership, the replication factor and the robustness knobs
+// (budget, per-attempt timeout, retries, backoff, breaker thresholds).
+// Zero values take documented defaults.
+type PeerClusterConfig = cluster.Config
+
+// PeerClusterStats is a PeerCluster's observability snapshot: fetch and
+// replication traffic plus each member's breaker state.
+type PeerClusterStats = cluster.Stats
+
+// NewPeerCluster validates the membership and starts the peer tier's
+// write-behind replication workers.
+func NewPeerCluster(cfg PeerClusterConfig) (*PeerCluster, error) {
+	return cluster.New(cfg)
 }
