@@ -9,8 +9,10 @@
 // Experiments: fig1, fig2, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
 // table1, table2, storage, ackwise, protocols, all. Figures 8-11 share one
 // PCT sweep, which is run once even when several of them are requested.
-// The protocols experiment runs full-map MESI, Dragon write-update and the
-// locality-aware adaptive protocol side by side.
+// The protocols experiment runs every registered coherence protocol side
+// by side: full-map MESI, Dragon write-update, directoryless DLS, the
+// self-invalidating Neat, the per-line MESI/Dragon hybrid and the
+// locality-aware adaptive protocol.
 package main
 
 import (

@@ -9,10 +9,11 @@
 // for replay with lacc-trace or as a permanent regression input.
 //
 // The -self-test mode seeds a known protocol defect (dropped
-// invalidations, or dropped update pushes for Dragon) and requires the
-// checker to find it and to close the loop: the counterexample must fail
-// when replayed under the fault and pass on a healthy simulator. It
-// guards the checker itself against silently losing its teeth.
+// invalidations; dropped update pushes for Dragon and hybrid; dropped
+// remote word writes for DLS) and requires the checker to find it and to
+// close the loop: the counterexample must fail when replayed under the
+// fault and pass on a healthy simulator. It guards the checker itself
+// against silently losing its teeth.
 //
 // Usage:
 //
@@ -51,11 +52,14 @@ var variants = []variant{
 	{"adaptive-ackwise1", sim.ProtocolAdaptive, 1, sim.Faults{DropInvalidations: true}},
 	{"mesi", sim.ProtocolMESI, 0, sim.Faults{DropInvalidations: true}},
 	{"dragon", sim.ProtocolDragon, 0, sim.Faults{DropUpdates: true}},
+	{"dls", sim.ProtocolDLS, 0, sim.Faults{DropWordWrites: true}},
+	{"neat", sim.ProtocolNeat, 0, sim.Faults{DropInvalidations: true}},
+	{"hybrid", sim.ProtocolHybrid, 0, sim.Faults{DropUpdates: true}},
 }
 
 func main() {
 	fs := flag.NewFlagSet("lacc-check", flag.ExitOnError)
-	protocol := fs.String("protocol", "all", "protocol to check: adaptive, adaptive-ackwise1, mesi, dragon, or all")
+	protocol := fs.String("protocol", "all", "protocol to check: adaptive, adaptive-ackwise1, mesi, dragon, dls, neat, hybrid, or all")
 	cores := fs.Int("cores", 2, "cores in the model (state space grows steeply; 2-3 is exhaustive territory)")
 	depth := fs.Int("depth", 12, "maximum interleaving length")
 	maxStates := fs.Int("max-states", 1<<18, "visited-state bound")

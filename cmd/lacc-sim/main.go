@@ -28,7 +28,7 @@ func main() {
 		meshWidth  = flag.Int("mesh-width", 8, "mesh X dimension (must divide cores)")
 		scale      = flag.Float64("scale", 1.0, "problem-size multiplier")
 		seed       = flag.Uint64("seed", 0, "workload randomness seed")
-		protocol   = flag.String("protocol", "adaptive", "coherence protocol: adaptive, mesi, dragon")
+		protocol   = flag.String("protocol", "adaptive", "coherence protocol: adaptive, mesi, dragon, dls, neat, hybrid")
 		pct        = flag.Int("pct", 4, "private caching threshold (1 = baseline directory protocol)")
 		ratMax     = flag.Int("ratmax", 16, "maximum remote access threshold")
 		ratLevels  = flag.Int("ratlevels", 2, "number of RAT levels")

@@ -138,7 +138,7 @@ func info(args []string) {
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	protocol := fs.String("protocol", "adaptive", "coherence protocol: adaptive, mesi, dragon")
+	protocol := fs.String("protocol", "adaptive", "coherence protocol: adaptive, mesi, dragon, dls, neat, hybrid")
 	pct := fs.Int("pct", 4, "private caching threshold")
 	classifier := fs.Int("classifier-k", 3, "Limited-k classifier size (0 = Complete)")
 	meshWidth := fs.Int("mesh-width", 0, "mesh X dimension (0 = auto)")

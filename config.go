@@ -34,6 +34,19 @@ const (
 	// ProtocolDragon is the Dragon-style write-update baseline: writes to
 	// shared lines push the word to all sharers instead of invalidating.
 	ProtocolDragon = sim.ProtocolDragon
+	// ProtocolDLS is the directoryless shared-LLC baseline: no private
+	// data caching and no directory state; every access is a word-granular
+	// round trip to the line's home L2 slice.
+	ProtocolDLS = sim.ProtocolDLS
+	// ProtocolNeat is the low-complexity bounded-metadata baseline: a
+	// single-pointer directory whose overflow falls back to broadcast,
+	// with cores self-invalidating their shared copies at synchronization
+	// points.
+	ProtocolNeat = sim.ProtocolNeat
+	// ProtocolHybrid switches per line between MESI write-invalidate and
+	// Dragon write-update, driven by the same locality classifier the
+	// adaptive protocol uses.
+	ProtocolHybrid = sim.ProtocolHybrid
 )
 
 // ProtocolKinds returns the registered coherence protocols, sorted.

@@ -14,10 +14,11 @@ import (
 //
 // The table covers all four benchmark families (SPLASH-2, PARSEC, Parallel
 // MI Bench, UHPC) under the adaptive protocol, plus one row per family
-// under the MESI and Dragon baselines so protocol drift is caught exactly
-// like timing drift. The "activity" column is the protocol's signature
-// event count: remote word accesses for adaptive, sharer word updates for
-// Dragon, zero for MESI (whole-line transfers only).
+// under each baseline (MESI, Dragon, DLS, Neat and the MESI/Dragon
+// hybrid) so protocol drift is caught exactly like timing drift. The
+// "activity" column is the protocol's signature event count: remote word
+// accesses for adaptive and DLS, sharer word updates for Dragon and the
+// hybrid, zero for MESI and Neat (whole-line transfers only).
 func TestGoldenRegression(t *testing.T) {
 	golden := []struct {
 		workload   string
@@ -48,6 +49,23 @@ func TestGoldenRegression(t *testing.T) {
 		{"streamcluster", lacc.ProtocolDragon, 91441, 12512, 15035, 167586},
 		{"matmul", lacc.ProtocolDragon, 1149359, 350016, 18, 1993145},
 		{"canneal", lacc.ProtocolDragon, 618705, 20540, 753, 646420},
+
+		// Directoryless shared-LLC baseline: every access is a remote word
+		// access, so activity equals the access count.
+		{"streamcluster", lacc.ProtocolDLS, 72431, 12512, 12512, 89305},
+		{"matmul", lacc.ProtocolDLS, 997965, 350016, 350016, 1141221},
+		{"canneal", lacc.ProtocolDLS, 521014, 20540, 20540, 359766},
+
+		// Neat single-pointer self-invalidation baseline: whole-line
+		// transfers only, so activity is zero like MESI.
+		{"streamcluster", lacc.ProtocolNeat, 94470, 12512, 0, 183538},
+		{"matmul", lacc.ProtocolNeat, 1148716, 350016, 0, 1995097},
+		{"canneal", lacc.ProtocolNeat, 619952, 20540, 0, 670772},
+
+		// Per-line MESI/Dragon hybrid: activity counts its update pushes.
+		{"streamcluster", lacc.ProtocolHybrid, 99903, 12512, 268, 184923},
+		{"matmul", lacc.ProtocolHybrid, 1150199, 350016, 4, 1993702},
+		{"canneal", lacc.ProtocolHybrid, 616145, 20540, 676, 646271},
 	}
 	// goldenRow is the comparable shape of one table row. Comparing whole
 	// rows (not field by field) makes a regression print the complete
@@ -111,6 +129,7 @@ func TestGoldenLargeMesh256(t *testing.T) {
 	}{
 		{lacc.ProtocolAdaptive, 727493, 199712, 59917, 4746419},
 		{lacc.ProtocolMESI, 1528735, 199712, 0, 12337408},
+		{lacc.ProtocolHybrid, 1999181, 199712, 6011, 13079074},
 	}
 	for _, g := range golden {
 		g := g

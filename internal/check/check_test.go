@@ -32,6 +32,9 @@ func TestHealthyProtocolsBounded(t *testing.T) {
 		{"adaptive-ackwise1", sim.ProtocolAdaptive, 1},
 		{"mesi", sim.ProtocolMESI, 0},
 		{"dragon", sim.ProtocolDragon, 0},
+		{"dls", sim.ProtocolDLS, 0},
+		{"neat", sim.ProtocolNeat, 0},
+		{"hybrid", sim.ProtocolHybrid, 0},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
@@ -95,6 +98,7 @@ func TestDropInvalidationsSWMR(t *testing.T) {
 		{"mesi", sim.ProtocolMESI, 0},
 		{"adaptive", sim.ProtocolAdaptive, 0},
 		{"adaptive-ackwise1", sim.ProtocolAdaptive, 1},
+		{"neat", sim.ProtocolNeat, 0},
 	} {
 		t.Run(v.name, func(t *testing.T) {
 			opts := shallow(v.kind, v.ackwise)
@@ -105,13 +109,32 @@ func TestDropInvalidationsSWMR(t *testing.T) {
 	}
 }
 
-// TestDropUpdatesDataValue: losing Dragon's update pushes leaves the
-// directory structurally intact but a sharer's copy stale — a pure
-// data-value violation whose probe read makes the replay fail the inline
-// version check.
+// TestDropUpdatesDataValue: losing update pushes leaves the directory
+// structurally intact but a sharer's copy stale — a pure data-value
+// violation whose probe read makes the replay fail the inline version
+// check. Dragon pushes updates to every sharer; hybrid pushes them to its
+// private-mode sharers.
 func TestDropUpdatesDataValue(t *testing.T) {
-	opts := shallow(sim.ProtocolDragon, 0)
-	opts.Faults = sim.Faults{DropUpdates: true}
+	for _, kind := range []sim.ProtocolKind{sim.ProtocolDragon, sim.ProtocolHybrid} {
+		t.Run(string(kind), func(t *testing.T) {
+			opts := shallow(kind, 0)
+			opts.Faults = sim.Faults{DropUpdates: true}
+			v := requireViolation(t, opts, "data-value")
+			if !strings.Contains(v.ReplayFailure, "coherence violation") &&
+				!strings.Contains(v.ReplayFailure, "audit") {
+				t.Fatalf("replay failure does not look like a value check: %s", v.ReplayFailure)
+			}
+		})
+	}
+}
+
+// TestDropWordWritesDataValue: losing DLS remote word writes at the home
+// slice advances the golden store while the home L2 line — the single
+// point of coherence — keeps its stale version, the directoryless
+// analogue of a lost store.
+func TestDropWordWritesDataValue(t *testing.T) {
+	opts := shallow(sim.ProtocolDLS, 0)
+	opts.Faults = sim.Faults{DropWordWrites: true}
 	v := requireViolation(t, opts, "data-value")
 	if !strings.Contains(v.ReplayFailure, "coherence violation") &&
 		!strings.Contains(v.ReplayFailure, "audit") {

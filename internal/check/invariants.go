@@ -67,6 +67,22 @@ func (r *runner) findViolation(snap []sim.LineSnapshot) *finding {
 			return f
 		}
 
+		// Data-value at a dirless home (DLS): with no directory state at
+		// all, the home L2 line is the single point of coherence and must
+		// always carry the latest committed version. Inert for directory
+		// protocols, where a data L2 line always has a directory entry.
+		if ls.Dir == nil && ls.L2 != nil && ls.L2.Version != ls.Golden {
+			f := &finding{
+				kind: "data-value",
+				detail: fmt.Sprintf("line %#x: dirless home L2 at tile %d version %d, golden %d",
+					ls.Addr, ls.L2.Home, ls.L2.Version, ls.Golden),
+			}
+			if c, ok := r.coreWithoutCopy(ls); ok {
+				f.probe = &Action{Core: c, Kind: mem.Read, Addr: ls.Addr}
+			}
+			return f
+		}
+
 		// Data-value off chip: a line with no on-chip copy lives in DRAM.
 		if ls.L2 == nil && len(ls.Copies) == 0 && ls.DRAM != ls.Golden {
 			probe := Action{Core: 0, Kind: mem.Read, Addr: ls.Addr}

@@ -26,12 +26,18 @@ type ProtocolComparisonResult struct {
 }
 
 // ProtocolComparison runs every selected benchmark under each coherence
-// protocol. A nil kinds list compares full-map MESI (the reference),
-// Dragon write-update and the locality-aware adaptive protocol.
+// protocol. A nil kinds list compares every registered protocol: full-map
+// MESI (the reference, always first), Dragon write-update, the
+// directoryless shared-LLC DLS, the self-invalidating single-pointer
+// Neat, the per-line MESI/Dragon hybrid and the locality-aware adaptive
+// protocol.
 func ProtocolComparison(o Options, kinds []sim.ProtocolKind) (*ProtocolComparisonResult, error) {
 	o = o.normalize()
 	if len(kinds) == 0 {
-		kinds = []sim.ProtocolKind{sim.ProtocolMESI, sim.ProtocolDragon, sim.ProtocolAdaptive}
+		kinds = []sim.ProtocolKind{
+			sim.ProtocolMESI, sim.ProtocolDragon, sim.ProtocolDLS,
+			sim.ProtocolNeat, sim.ProtocolHybrid, sim.ProtocolAdaptive,
+		}
 	}
 	var jobs []job
 	for _, bench := range o.Benchmarks {

@@ -13,8 +13,8 @@ func TestProtocolComparisonShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Protocols) != 3 || p.Protocols[0] != sim.ProtocolMESI {
-		t.Fatalf("default protocols = %v, want MESI-first trio", p.Protocols)
+	if len(p.Protocols) != 6 || p.Protocols[0] != sim.ProtocolMESI {
+		t.Fatalf("default protocols = %v, want six-way MESI-first comparison", p.Protocols)
 	}
 	if len(p.Results) != 2 {
 		t.Fatalf("covered %d benchmarks, want 2", len(p.Results))
@@ -49,13 +49,37 @@ func TestProtocolComparisonShape(t *testing.T) {
 		t.Fatalf("adaptive completion geomean = %.3f, want < 1 vs MESI",
 			p.Completion[sim.ProtocolAdaptive])
 	}
+	// Each baseline's own headline signature, visible in the comparison:
+	// DLS runs without a single invalidation (no directory, no private
+	// copies — every access is a remote word access); Neat keeps MESI's
+	// access mix while self-invalidating at synchronization points under
+	// one-pointer metadata; the hybrid switches per line between MESI
+	// invalidations and Dragon update pushes.
+	for bench, byKind := range p.Results {
+		dls := byKind[sim.ProtocolDLS]
+		if dls.Invalidations != 0 || dls.WordReads+dls.WordWrites != dls.DataAccesses {
+			t.Fatalf("%s/dls: invals=%d words=%d accesses=%d, want inval-free all-remote run",
+				bench, dls.Invalidations, dls.WordReads+dls.WordWrites, dls.DataAccesses)
+		}
+		neat := byKind[sim.ProtocolNeat]
+		if neat.SelfInvalidations == 0 {
+			t.Fatalf("%s/neat: no self-invalidations recorded", bench)
+		}
+		if neat.WordReads+neat.WordWrites+neat.UpdateWrites != 0 {
+			t.Fatalf("%s/neat: unexpected word/update traffic", bench)
+		}
+		hybrid := byKind[sim.ProtocolHybrid]
+		if hybrid.UpdateWrites == 0 {
+			t.Fatalf("%s/hybrid: no update pushes recorded", bench)
+		}
+	}
 
 	var buf bytes.Buffer
 	if err := p.Render(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"mesi", "dragon", "adaptive", "geomeans"} {
+	for _, want := range []string{"mesi", "dragon", "dls", "neat", "hybrid", "adaptive", "geomeans"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render output missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lacc/internal/sim"
+)
+
+// FuzzProtocolOverrideParsing feeds arbitrary protocol-kind strings
+// through the config-override path: the JSON decode must never panic, and
+// the assembled machine configuration must validate exactly when the
+// string names a registered protocol (or is empty, which keeps the
+// adaptive default). This pins the registry as the single gatekeeper —
+// no protocol name reaches a simulator without passing it.
+func FuzzProtocolOverrideParsing(f *testing.F) {
+	for _, k := range sim.ProtocolKinds() {
+		f.Add(string(k))
+	}
+	f.Add("")
+	f.Add("moesi")
+	f.Add("ADAPTIVE")
+	f.Add("dragon ")
+	f.Add("mesi\x00")
+	f.Add("自适应")
+	f.Fuzz(func(t *testing.T, name string) {
+		body, err := json.Marshal(map[string]any{
+			"workload": "matmul",
+			"config":   map[string]any{"protocol": name},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(string(body)))
+		q, err := decodeRequest(r)
+		if err != nil {
+			// The decode layer only rejects malformed JSON; json.Marshal
+			// produced well-formed JSON, so any string must decode.
+			t.Fatalf("decodeRequest rejected %q: %v", name, err)
+		}
+
+		cfg := sim.Default()
+		q.Config.apply(&cfg)
+		verr := cfg.Validate()
+		if name == "" || registeredProtocol(name) {
+			if verr != nil {
+				t.Fatalf("registered protocol %q failed validation: %v", name, verr)
+			}
+		} else if verr == nil {
+			t.Fatalf("unregistered protocol %q passed validation", name)
+		}
+	})
+}

@@ -40,8 +40,8 @@ type Request struct {
 
 	// PCTs is the /v1/experiments/pct-sweep sweep (nil = Figure 8's 1..8).
 	PCTs []int `json:"pcts,omitempty"`
-	// Protocols is the /v1/experiments/protocols kind list (nil = MESI,
-	// Dragon, adaptive).
+	// Protocols is the /v1/experiments/protocols kind list (nil = every
+	// registered protocol: MESI, Dragon, DLS, Neat, hybrid, adaptive).
 	Protocols []string `json:"protocols,omitempty"`
 	// Pointers is the /v1/experiments/ackwise pointer sweep (nil = {4,
 	// cores}).
@@ -59,8 +59,8 @@ type Request struct {
 // Table 1 defaults. Pointer fields distinguish "absent" from an explicit
 // zero; plain fields treat zero as absent.
 type ConfigOverrides struct {
-	// Protocol selects the coherence protocol: adaptive (default), mesi
-	// or dragon.
+	// Protocol selects the coherence protocol: adaptive (default), mesi,
+	// dragon, dls, neat or hybrid.
 	Protocol string `json:"protocol,omitempty"`
 	// PCT is the private caching threshold (Table 1 default: 4).
 	PCT int `json:"pct,omitempty"`

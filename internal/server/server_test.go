@@ -112,6 +112,17 @@ func TestServedMatchesDirect(t *testing.T) {
 		if want := mustCanonical(t, direct); !bytes.Equal(body, want) {
 			t.Errorf("served protocol comparison differs from direct call\nserved: %.200s\ndirect: %.200s", body, want)
 		}
+		// The default comparison covers every registered protocol; the
+		// served body must name all six.
+		kinds := lacc.ProtocolKinds()
+		if len(kinds) != 6 {
+			t.Errorf("registered protocols = %v, want 6", kinds)
+		}
+		for _, kind := range kinds {
+			if !bytes.Contains(body, []byte(`"`+string(kind)+`"`)) {
+				t.Errorf("served protocol comparison missing %q", kind)
+			}
+		}
 	})
 
 	t.Run("run", func(t *testing.T) {
@@ -216,12 +227,13 @@ func TestConcurrentCoalescingAndAdmission(t *testing.T) {
 	// 64 requests over 4 distinct bodies: duplicates must have been
 	// deduplicated somewhere — joined onto an in-flight identical request,
 	// or served from the session cache — never re-simulated. Misses counts
-	// simulations scheduled; the four classes need at most 2+2+3+1 = 8.
+	// simulations scheduled; the four classes need at most 2+2+6+1 = 11
+	// (the six-way protocol comparison dominates).
 	if st.CoalescedRequests+st.Session.Hits+st.Session.Coalesced == 0 {
 		t.Errorf("no coalescing observed across %d overlapping requests: %+v", clients, st)
 	}
-	if st.Session.Misses > 8 {
-		t.Errorf("session scheduled %d simulations, want <= 8 distinct", st.Session.Misses)
+	if st.Session.Misses > 11 {
+		t.Errorf("session scheduled %d simulations, want <= 11 distinct", st.Session.Misses)
 	}
 	if st.Rejected != 0 {
 		t.Errorf("rejected = %d with a %d-deep queue, want 0", st.Rejected, 64)

@@ -53,7 +53,38 @@ func (s *Simulator) Audit() error {
 			return err
 		}
 	}
+	// Dirless home lines (DLS): an L2 data line with no directory entry is
+	// the single authoritative copy and must be current. Inert for the
+	// directory protocols, where every data line in an L2 slice has an
+	// integrated directory entry.
+	if s.cfg.CheckValues {
+		for home := range s.tiles {
+			if err := s.auditDirlessL2(home); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// auditDirlessL2 enforces the data-value invariant on home L2 lines that
+// have no directory entry (the DLS single point of coherence).
+func (s *Simulator) auditDirlessL2(home int) error {
+	ht := &s.tiles[home]
+	var fail error
+	ht.l2.ForEach(func(l *cache.Line) {
+		if fail != nil || l.Addr >= codeBase || l.State == lineReplica {
+			return
+		}
+		if ht.dir.probe(l.Addr) != nil {
+			return
+		}
+		if want := s.golden.get(l.Addr); l.Version != want {
+			fail = fmt.Errorf("sim: audit: dirless home line %#x at tile %d version %d, golden %d",
+				l.Addr, home, l.Version, want)
+		}
+	})
+	return fail
 }
 
 // auditEntry checks one directory entry against the caches.

@@ -48,7 +48,10 @@ type Config struct {
 	// ProtocolKind selects the coherence protocol implementation from the
 	// registry: ProtocolAdaptive (the paper's locality-aware protocol,
 	// also the empty-string default), ProtocolMESI (full-map MESI
-	// directory baseline) or ProtocolDragon (write-update baseline).
+	// directory baseline), ProtocolDragon (write-update baseline),
+	// ProtocolDLS (directoryless shared-LLC remote access),
+	// ProtocolNeat (single-pointer directory with self-invalidation) or
+	// ProtocolHybrid (per-line MESI/Dragon switching).
 	ProtocolKind ProtocolKind
 
 	// Protocol holds the locality-aware protocol parameters; ClassifierK
@@ -127,6 +130,19 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("sim: %s=%d exceeds the supported maximum %d", e.Field, e.Value, e.Max)
 }
 
+// FeatureError reports a configuration feature enabled under a protocol
+// kind that does not support it. Like LimitError it is a typed rejection:
+// callers (the server's config override layer, the experiment sweepers)
+// can distinguish an unsupported combination from a malformed value.
+type FeatureError struct {
+	Feature  string
+	Protocol ProtocolKind
+}
+
+func (e *FeatureError) Error() string {
+	return fmt.Sprintf("sim: %s is not supported under protocol %q", e.Feature, e.Protocol)
+}
+
 // Default returns the paper's Table 1 configuration with the protocol
 // defaults (PCT 4, RATmax 16, 2 RAT levels, Limited-3 classifier).
 func Default() Config {
@@ -195,7 +211,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown protocol %q (registered: %v)", c.ProtocolKind, ProtocolKinds())
 	}
 	if c.VictimReplication && c.protocolKind() != ProtocolAdaptive {
-		return fmt.Errorf("sim: victim replication requires the adaptive protocol, not %q", c.protocolKind())
+		return &FeatureError{Feature: "victim replication", Protocol: c.protocolKind()}
 	}
 	if c.L1ISizeKB <= 0 || c.L1DSizeKB <= 0 || c.L2SizeKB <= 0 {
 		return fmt.Errorf("sim: cache sizes must be positive")

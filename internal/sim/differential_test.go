@@ -177,6 +177,9 @@ func TestDifferentialFastVsReference(t *testing.T) {
 		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
 		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
 		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+		{"dls", func(c *Config) { c.ProtocolKind = ProtocolDLS }},
+		{"neat", func(c *Config) { c.ProtocolKind = ProtocolNeat }},
+		{"hybrid", func(c *Config) { c.ProtocolKind = ProtocolHybrid }},
 	}
 	for _, v := range variants {
 		for seed := int64(1); seed <= 3; seed++ {
@@ -263,6 +266,9 @@ func TestResetReproducesFreshSimulator(t *testing.T) {
 		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
 		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
 		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+		{"dls", func(c *Config) { c.ProtocolKind = ProtocolDLS }},
+		{"neat", func(c *Config) { c.ProtocolKind = ProtocolNeat }},
+		{"hybrid", func(c *Config) { c.ProtocolKind = ProtocolHybrid }},
 	}
 	for _, p := range protocols {
 		p := p
@@ -475,6 +481,9 @@ func TestEngineBatchedVsGeneric(t *testing.T) {
 		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
 		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
 		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+		{"dls", func(c *Config) { c.ProtocolKind = ProtocolDLS }},
+		{"neat", func(c *Config) { c.ProtocolKind = ProtocolNeat }},
+		{"hybrid", func(c *Config) { c.ProtocolKind = ProtocolHybrid }},
 	}
 	geometries := []struct {
 		name string
@@ -530,6 +539,9 @@ func TestCheckValuesNeutral(t *testing.T) {
 		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
 		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
 		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+		{"dls", func(c *Config) { c.ProtocolKind = ProtocolDLS }},
+		{"neat", func(c *Config) { c.ProtocolKind = ProtocolNeat }},
+		{"hybrid", func(c *Config) { c.ProtocolKind = ProtocolHybrid }},
 	}
 	for _, p := range protocols {
 		p := p

@@ -7,8 +7,8 @@ package sim
 // as originally written, kept verbatim as the semantic baseline the
 // differential tests replay against (TestEngineBatchedVsGeneric).
 //
-// The fast engine (runAdaptive/runMESI/runDragon) applies two transforms
-// that leave the execution order provably unchanged:
+// The fast engine (runAdaptive/runMESI/runDragon/runDLS/runNeat/runHybrid)
+// applies two transforms that leave the execution order provably unchanged:
 //
 //   - Horizon batching. The outer loop snapshots the run queue's second
 //     smallest key (coreQueue.horizon). While the root core's re-keyed
@@ -29,7 +29,7 @@ package sim
 //     protocol-neutral hit epilogue — is inlined into the loop body;
 //     anything else falls into the protocol's full missPath transaction.
 //
-// The three monomorphic loops are intentionally identical source text
+// The six monomorphic loops are intentionally identical source text
 // modulo the protocol type; keep them in sync with each other and with
 // runGeneric + dataAccess (protocol.go). Externally registered protocols
 // and the reference core run the generic loop.
@@ -66,6 +66,12 @@ func (s *Simulator) runEngine() error {
 		return s.runMESI(p)
 	case *dragonProtocol:
 		return s.runDragon(p)
+	case *dlsProtocol:
+		return s.runDLS(p)
+	case *neatProtocol:
+		return s.runNeat(p)
+	case *hybridProtocol:
+		return s.runHybrid(p)
 	default:
 		return s.runGeneric()
 	}
@@ -114,10 +120,24 @@ func (s *Simulator) retireTop(c *coreState) {
 	s.maybeReleaseBarrier()
 }
 
+// syncSelfInvalidator is implemented by protocols that react to a core
+// reaching a synchronization point (barrier arrival or lock acquisition)
+// by shedding cached state — Neat's self-invalidation. The hook runs
+// before the synchronization primitive, in both the sequential and the
+// sharded engines, so the reaction is ordered at the core's arrival time.
+type syncSelfInvalidator interface {
+	syncSelfInvalidate(c *coreState)
+}
+
 // syncOp executes a non-data operation for the heap-root core. All of them
 // may reshape the run queue (parking, granting or releasing cores), so the
 // batched loops end their batch after calling it.
 func (s *Simulator) syncOp(c *coreState, a mem.Access) error {
+	if a.Kind == mem.Barrier || a.Kind == mem.Lock {
+		if si, ok := s.proto.(syncSelfInvalidator); ok {
+			si.syncSelfInvalidate(c)
+		}
+	}
 	switch a.Kind {
 	case mem.Barrier:
 		s.runQ.popTop()
@@ -207,6 +227,216 @@ func (s *Simulator) runAdaptive(p *adaptiveProtocol) error {
 // runMESI is the monomorphic horizon-batched engine for the full-map MESI
 // baseline; lock-step copy of runAdaptive.
 func (s *Simulator) runMESI(p *mesiProtocol) error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.q[0].id
+		c := &s.cores[id]
+		hz := s.runQ.horizon()
+		l1 := s.tiles[id].l1d
+		for {
+			var a mem.Access
+			if c.bufIdx < len(c.buf) {
+				a = c.buf[c.bufIdx]
+				c.bufIdx++
+			} else {
+				var ok bool
+				if a, ok = c.refill(); !ok {
+					s.retireTop(c)
+					break
+				}
+			}
+			if a.Gap > 0 {
+				c.now += mem.Cycle(a.Gap)
+				c.bd.Compute += float64(a.Gap)
+			}
+			if !a.Kind.IsData() {
+				if err := s.syncOp(c, a); err != nil {
+					return err
+				}
+				break
+			}
+			s.instrFetch(c, a.Gap)
+			la := mem.LineOf(a.Addr)
+			line := c.lastL1D
+			if !l1.Holds(line, la) {
+				line = l1.Probe(la)
+			}
+			if line != nil && (a.Kind == mem.Read || line.State != lineS) {
+				// Inlined l1DataHit (protocol.go): the epilogue is above the
+				// compiler's inlining budget, and this is the single hottest
+				// block of a simulation. Keep the two in lock-step.
+				c.lastL1D = line
+				c.l1d.Hits++
+				line.Util++
+				l1.Touch(line, c.now)
+				if a.Kind == mem.Write {
+					s.meter.L1DWrites++
+					line.State = lineM
+					line.Dirty = true
+					line.Version = s.goldenWrite(la)
+				} else {
+					s.meter.L1DReads++
+					if s.cfg.CheckValues {
+						s.checkVersion("L1 read hit", la, line.Version)
+					}
+				}
+				c.now += mem.Cycle(s.cfg.L1DLatency)
+			} else {
+				p.missPath(c, a.Kind, a.Addr, line != nil)
+			}
+			if c.now < hz.now || (c.now == hz.now && id < hz.id) {
+				continue
+			}
+			s.runQ.replaceTop(c.now, id)
+			break
+		}
+	}
+	return nil
+}
+
+// runDLS is the monomorphic horizon-batched engine for the directoryless
+// shared-LLC baseline; lock-step copy of runAdaptive. The L1 hit block is
+// dead under DLS (no data line is ever installed), but stays verbatim so
+// the loops remain textually identical.
+func (s *Simulator) runDLS(p *dlsProtocol) error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.q[0].id
+		c := &s.cores[id]
+		hz := s.runQ.horizon()
+		l1 := s.tiles[id].l1d
+		for {
+			var a mem.Access
+			if c.bufIdx < len(c.buf) {
+				a = c.buf[c.bufIdx]
+				c.bufIdx++
+			} else {
+				var ok bool
+				if a, ok = c.refill(); !ok {
+					s.retireTop(c)
+					break
+				}
+			}
+			if a.Gap > 0 {
+				c.now += mem.Cycle(a.Gap)
+				c.bd.Compute += float64(a.Gap)
+			}
+			if !a.Kind.IsData() {
+				if err := s.syncOp(c, a); err != nil {
+					return err
+				}
+				break
+			}
+			s.instrFetch(c, a.Gap)
+			la := mem.LineOf(a.Addr)
+			line := c.lastL1D
+			if !l1.Holds(line, la) {
+				line = l1.Probe(la)
+			}
+			if line != nil && (a.Kind == mem.Read || line.State != lineS) {
+				// Inlined l1DataHit (protocol.go): the epilogue is above the
+				// compiler's inlining budget, and this is the single hottest
+				// block of a simulation. Keep the two in lock-step.
+				c.lastL1D = line
+				c.l1d.Hits++
+				line.Util++
+				l1.Touch(line, c.now)
+				if a.Kind == mem.Write {
+					s.meter.L1DWrites++
+					line.State = lineM
+					line.Dirty = true
+					line.Version = s.goldenWrite(la)
+				} else {
+					s.meter.L1DReads++
+					if s.cfg.CheckValues {
+						s.checkVersion("L1 read hit", la, line.Version)
+					}
+				}
+				c.now += mem.Cycle(s.cfg.L1DLatency)
+			} else {
+				p.missPath(c, a.Kind, a.Addr, line != nil)
+			}
+			if c.now < hz.now || (c.now == hz.now && id < hz.id) {
+				continue
+			}
+			s.runQ.replaceTop(c.now, id)
+			break
+		}
+	}
+	return nil
+}
+
+// runNeat is the monomorphic horizon-batched engine for the Neat bounded
+// self-invalidation baseline; lock-step copy of runAdaptive. The
+// self-invalidation hook lives in syncOp, which already ends every batch.
+func (s *Simulator) runNeat(p *neatProtocol) error {
+	for len(s.runQ.q) > 0 {
+		id := s.runQ.q[0].id
+		c := &s.cores[id]
+		hz := s.runQ.horizon()
+		l1 := s.tiles[id].l1d
+		for {
+			var a mem.Access
+			if c.bufIdx < len(c.buf) {
+				a = c.buf[c.bufIdx]
+				c.bufIdx++
+			} else {
+				var ok bool
+				if a, ok = c.refill(); !ok {
+					s.retireTop(c)
+					break
+				}
+			}
+			if a.Gap > 0 {
+				c.now += mem.Cycle(a.Gap)
+				c.bd.Compute += float64(a.Gap)
+			}
+			if !a.Kind.IsData() {
+				if err := s.syncOp(c, a); err != nil {
+					return err
+				}
+				break
+			}
+			s.instrFetch(c, a.Gap)
+			la := mem.LineOf(a.Addr)
+			line := c.lastL1D
+			if !l1.Holds(line, la) {
+				line = l1.Probe(la)
+			}
+			if line != nil && (a.Kind == mem.Read || line.State != lineS) {
+				// Inlined l1DataHit (protocol.go): the epilogue is above the
+				// compiler's inlining budget, and this is the single hottest
+				// block of a simulation. Keep the two in lock-step.
+				c.lastL1D = line
+				c.l1d.Hits++
+				line.Util++
+				l1.Touch(line, c.now)
+				if a.Kind == mem.Write {
+					s.meter.L1DWrites++
+					line.State = lineM
+					line.Dirty = true
+					line.Version = s.goldenWrite(la)
+				} else {
+					s.meter.L1DReads++
+					if s.cfg.CheckValues {
+						s.checkVersion("L1 read hit", la, line.Version)
+					}
+				}
+				c.now += mem.Cycle(s.cfg.L1DLatency)
+			} else {
+				p.missPath(c, a.Kind, a.Addr, line != nil)
+			}
+			if c.now < hz.now || (c.now == hz.now && id < hz.id) {
+				continue
+			}
+			s.runQ.replaceTop(c.now, id)
+			break
+		}
+	}
+	return nil
+}
+
+// runHybrid is the monomorphic horizon-batched engine for the MESI/Dragon
+// switching baseline; lock-step copy of runAdaptive.
+func (s *Simulator) runHybrid(p *hybridProtocol) error {
 	for len(s.runQ.q) > 0 {
 		id := s.runQ.q[0].id
 		c := &s.cores[id]

@@ -42,6 +42,12 @@ type Faults struct {
 	// commits the write but the other sharers' copies keep their stale
 	// version — a pure data-value bug with intact directory structure.
 	DropUpdates bool
+
+	// DropWordWrites loses DLS remote word writes at the home slice: the
+	// golden store advances but the home L2 keeps the stale version — the
+	// directoryless analogue of a lost store, caught by the data-value
+	// invariant on the home line.
+	DropWordWrites bool
 }
 
 // NewWithFaults builds a simulator with seeded protocol defects. It

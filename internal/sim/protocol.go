@@ -18,7 +18,7 @@ import (
 // energy meter) and is protocol-agnostic.
 //
 // Implementations register themselves with RegisterProtocol under a
-// ProtocolKind; Config.ProtocolKind selects one per simulation. Three
+// ProtocolKind; Config.ProtocolKind selects one per simulation. Six
 // implementations ship in this package:
 //
 //   - ProtocolAdaptive — the paper's locality-aware adaptive protocol
@@ -28,7 +28,17 @@ import (
 //     transfers only, exact sharer vector), in mesi.go,
 //   - ProtocolDragon — a Dragon-style write-update directory baseline
 //     (writes to shared lines update all copies instead of invalidating
-//     them), in dragon.go.
+//     them), in dragon.go,
+//   - ProtocolDLS — a directoryless shared-LLC baseline (every data access
+//     is a remote word access at the home slice; no private caching, no
+//     directory state), in dls.go,
+//   - ProtocolNeat — a low-complexity coherence baseline with bounded
+//     sharer metadata (one pointer plus an overflow count) and
+//     self-invalidation of shared copies at synchronization points, in
+//     neat.go,
+//   - ProtocolHybrid — per-line MESI/Dragon switching driven by the
+//     locality classifier (private-mode sharers receive Dragon word
+//     updates, remote-mode sharers are MESI-invalidated), in hybrid.go.
 type Protocol interface {
 	// Name returns the registered kind string for reports and results.
 	Name() string
@@ -58,6 +68,9 @@ const (
 	ProtocolAdaptive ProtocolKind = "adaptive"
 	ProtocolMESI     ProtocolKind = "mesi"
 	ProtocolDragon   ProtocolKind = "dragon"
+	ProtocolDLS      ProtocolKind = "dls"
+	ProtocolNeat     ProtocolKind = "neat"
+	ProtocolHybrid   ProtocolKind = "hybrid"
 )
 
 // protocolFactories maps registered kinds to constructors. Protocols are

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -12,7 +13,10 @@ import (
 
 func TestProtocolKindsRegistered(t *testing.T) {
 	kinds := sim.ProtocolKinds()
-	want := []sim.ProtocolKind{sim.ProtocolAdaptive, sim.ProtocolDragon, sim.ProtocolMESI}
+	want := []sim.ProtocolKind{
+		sim.ProtocolAdaptive, sim.ProtocolDLS, sim.ProtocolDragon,
+		sim.ProtocolHybrid, sim.ProtocolMESI, sim.ProtocolNeat,
+	}
 	if len(kinds) != len(want) {
 		t.Fatalf("ProtocolKinds() = %v, want %v", kinds, want)
 	}
@@ -40,12 +44,23 @@ func TestValidateEmptyKindMeansAdaptive(t *testing.T) {
 }
 
 func TestValidateRejectsVictimReplicationOffAdaptive(t *testing.T) {
-	for _, kind := range []sim.ProtocolKind{sim.ProtocolMESI, sim.ProtocolDragon} {
+	for _, kind := range []sim.ProtocolKind{
+		sim.ProtocolMESI, sim.ProtocolDragon,
+		sim.ProtocolDLS, sim.ProtocolNeat, sim.ProtocolHybrid,
+	} {
 		cfg := sim.Default()
 		cfg.ProtocolKind = kind
 		cfg.VictimReplication = true
-		if _, err := sim.New(cfg); err == nil || !strings.Contains(err.Error(), "victim replication") {
+		_, err := sim.New(cfg)
+		if err == nil || !strings.Contains(err.Error(), "victim replication") {
 			t.Errorf("%s + victim replication: err = %v, want rejection", kind, err)
+			continue
+		}
+		var fe *sim.FeatureError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s + victim replication: err type %T, want *sim.FeatureError", kind, err)
+		} else if fe.Protocol != kind {
+			t.Errorf("%s + victim replication: FeatureError.Protocol = %q", kind, fe.Protocol)
 		}
 	}
 	cfg := sim.Default()
@@ -177,6 +192,46 @@ func TestProtocolWritePolicies(t *testing.T) {
 	}
 	if adaptive.UpdateWrites != 0 {
 		t.Errorf("adaptive update writes = %d, want 0", adaptive.UpdateWrites)
+	}
+
+	// DLS caches nothing privately: every data access is a remote word
+	// access, and with no private copies there is nothing to invalidate
+	// or update.
+	dls := results[sim.ProtocolDLS]
+	if dls.WordReads+dls.WordWrites != dls.DataAccesses {
+		t.Errorf("DLS word accesses = %d, want every access (%d)",
+			dls.WordReads+dls.WordWrites, dls.DataAccesses)
+	}
+	if dls.Invalidations+dls.UpdateWrites != 0 {
+		t.Errorf("DLS invalidations+updates = %d, want 0",
+			dls.Invalidations+dls.UpdateWrites)
+	}
+
+	// Neat invalidates like MESI but drops shared copies at barriers too.
+	neat := results[sim.ProtocolNeat]
+	if neat.WordReads+neat.WordWrites+neat.UpdateWrites != 0 {
+		t.Errorf("Neat word/update accesses = %d, want 0",
+			neat.WordReads+neat.WordWrites+neat.UpdateWrites)
+	}
+	if neat.SelfInvalidations == 0 {
+		t.Error("Neat barrier-heavy ping-pong produced no self-invalidations")
+	}
+
+	// Hybrid pushes updates to private-mode sharers instead of remote
+	// word accesses.
+	hybrid := results[sim.ProtocolHybrid]
+	if hybrid.UpdateWrites == 0 {
+		t.Error("hybrid ping-pong produced no update writes")
+	}
+	if hybrid.WordReads+hybrid.WordWrites != 0 {
+		t.Errorf("hybrid word accesses = %d, want 0", hybrid.WordReads+hybrid.WordWrites)
+	}
+	for _, kind := range []sim.ProtocolKind{
+		sim.ProtocolMESI, sim.ProtocolDragon, sim.ProtocolAdaptive, sim.ProtocolDLS,
+	} {
+		if n := results[kind].SelfInvalidations; n != 0 {
+			t.Errorf("%s self-invalidations = %d, want 0", kind, n)
+		}
 	}
 }
 

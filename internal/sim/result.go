@@ -42,6 +42,10 @@ type Result struct {
 	// UpdateWrites counts per-sharer word updates pushed by a write-update
 	// protocol (zero under invalidation-based protocols).
 	UpdateWrites uint64
+	// SelfInvalidations counts shared copies a core dropped from its own
+	// L1 at synchronization points under a self-invalidating protocol
+	// (zero otherwise).
+	SelfInvalidations uint64
 
 	// Network and DRAM activity.
 	RouterFlits, LinkFlits, Messages uint64

@@ -348,6 +348,14 @@ func (w *Simulator) shardRetire(c *coreState) {
 // barrier/lock state and re-queue granted cores through enqueueRunnable,
 // which routes them to the owning shard's inbox.
 func (w *Simulator) shardSyncOp(c *coreState, a mem.Access) error {
+	if a.Kind == mem.Barrier || a.Kind == mem.Lock {
+		// Self-invalidating protocols shed state before the primitive runs
+		// (see syncSelfInvalidator). The hook takes per-tile protocol locks,
+		// so it must run before withSync acquires the scheduler lock.
+		if si, ok := w.proto.(syncSelfInvalidator); ok {
+			si.syncSelfInvalidate(c)
+		}
+	}
 	switch a.Kind {
 	case mem.Barrier:
 		w.runQ.popTop()
@@ -449,6 +457,7 @@ func (s *Simulator) cloneForWorker(idx int) *Simulator {
 	w.promotions, w.demotions = 0, 0
 	w.wordReads, w.wordWrites = 0, 0
 	w.invalidations, w.bcastInvals = 0, 0
+	w.selfInvals = 0
 	w.replicaHits, w.replicaInserts, w.replicaEvictions = 0, 0, 0
 	w.idScratch = nil
 	w.bcastInval, w.bcastEvict = nil, nil
@@ -474,6 +483,7 @@ func (s *Simulator) mergeWorker(w *Simulator) {
 	s.wordWrites += w.wordWrites
 	s.invalidations += w.invalidations
 	s.bcastInvals += w.bcastInvals
+	s.selfInvals += w.selfInvals
 	s.replicaHits += w.replicaHits
 	s.replicaInserts += w.replicaInserts
 	s.replicaEvictions += w.replicaEvictions
@@ -482,6 +492,11 @@ func (s *Simulator) mergeWorker(w *Simulator) {
 	if wd, ok := w.proto.(*dragonProtocol); ok {
 		if sd, ok := s.proto.(*dragonProtocol); ok {
 			sd.updates += wd.updates
+		}
+	}
+	if wh, ok := w.proto.(*hybridProtocol); ok {
+		if sht, ok := s.proto.(*hybridProtocol); ok {
+			sht.updates += wh.updates
 		}
 	}
 }

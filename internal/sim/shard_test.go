@@ -47,6 +47,9 @@ func TestEngineShardedVsGeneric(t *testing.T) {
 		{"adaptive-victim-replication", func(c *Config) { c.VictimReplication = true }},
 		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
 		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+		{"dls", func(c *Config) { c.ProtocolKind = ProtocolDLS }},
+		{"neat", func(c *Config) { c.ProtocolKind = ProtocolNeat }},
+		{"hybrid", func(c *Config) { c.ProtocolKind = ProtocolHybrid }},
 	}
 	geometries := []struct {
 		name string
@@ -133,6 +136,9 @@ func TestEngineShardedParallel(t *testing.T) {
 		{"adaptive-timestamp", func(c *Config) { c.Protocol.UseTimestamp = true }},
 		{"mesi", func(c *Config) { c.ProtocolKind = ProtocolMESI }},
 		{"dragon", func(c *Config) { c.ProtocolKind = ProtocolDragon }},
+		{"dls", func(c *Config) { c.ProtocolKind = ProtocolDLS }},
+		{"neat", func(c *Config) { c.ProtocolKind = ProtocolNeat }},
+		{"hybrid", func(c *Config) { c.ProtocolKind = ProtocolHybrid }},
 	}
 	programs := []struct {
 		name  string
@@ -253,6 +259,20 @@ func TestConfigLimits(t *testing.T) {
 			c.Shards = 4
 			c.CheckValues = true
 		}, false, false},
+		// Unsupported feature combos reject through the typed FeatureError
+		// path (not LimitError): victim replication is adaptive-only.
+		{"victim-replication-dls", func(c *Config) {
+			c.ProtocolKind = ProtocolDLS
+			c.VictimReplication = true
+		}, true, false},
+		{"victim-replication-neat", func(c *Config) {
+			c.ProtocolKind = ProtocolNeat
+			c.VictimReplication = true
+		}, true, false},
+		{"victim-replication-hybrid", func(c *Config) {
+			c.ProtocolKind = ProtocolHybrid
+			c.VictimReplication = true
+		}, true, false},
 	}
 	for _, tc := range tests {
 		tc := tc

@@ -199,6 +199,7 @@ type Simulator struct {
 	wordWrites    uint64
 	invalidations uint64
 	bcastInvals   uint64
+	selfInvals    uint64
 
 	replicaHits      uint64
 	replicaInserts   uint64
@@ -240,13 +241,18 @@ func newSimulator(cfg Config, reference bool) (*Simulator, error) {
 }
 
 // dirPointersFor returns the per-entry sharer pointer count the directory
-// tables are built with: ACKwise-p for the adaptive protocol, a full-map
-// vector for the baselines regardless of AckwisePointers.
+// tables are built with: ACKwise-p for the adaptive protocol, a single
+// pointer for Neat's deliberately starved sharer metadata, and a full-map
+// vector for the remaining protocols regardless of AckwisePointers.
 func dirPointersFor(cfg Config) int {
-	if cfg.protocolKind() != ProtocolAdaptive {
+	switch cfg.protocolKind() {
+	case ProtocolAdaptive:
+		return cfg.AckwisePointers
+	case ProtocolNeat:
+		return 1
+	default:
 		return cfg.Cores
 	}
-	return cfg.AckwisePointers
 }
 
 // Reset re-initializes the simulator for cfg so the next Run behaves
@@ -302,11 +308,12 @@ func (s *Simulator) Reset(cfg Config) error {
 		s.dramVer.clear()
 	}
 
-	// The classifier pool survives a reset when the adaptive protocol keeps
-	// the same (cores, k) shape; outstanding classifiers are reclaimed from
-	// the old directory entries below, so slabs are never re-carved.
+	// The classifier pool survives a reset when a classifying protocol
+	// (adaptive or hybrid) keeps the same (cores, k) shape; outstanding
+	// classifiers are reclaimed from the old directory entries below, so
+	// slabs are never re-carved.
 	keepPool := !s.reference && s.clsPool != nil &&
-		cfg.protocolKind() == ProtocolAdaptive &&
+		(cfg.protocolKind() == ProtocolAdaptive || cfg.protocolKind() == ProtocolHybrid) &&
 		s.clsPool.Matches(cfg.Cores, cfg.ClassifierK)
 	if keepPool && !fresh {
 		for i := range s.tiles {
@@ -368,7 +375,7 @@ func (s *Simulator) Reset(cfg Config) error {
 	s.evictHist = stats.UtilizationHistogram{}
 	s.promotions, s.demotions = 0, 0
 	s.wordReads, s.wordWrites = 0, 0
-	s.invalidations, s.bcastInvals = 0, 0
+	s.invalidations, s.bcastInvals, s.selfInvals = 0, 0, 0
 	s.replicaHits, s.replicaInserts, s.replicaEvictions = 0, 0, 0
 
 	s.pendEvict = s.pendEvict[:0]
@@ -583,6 +590,7 @@ func (s *Simulator) collect() *Result {
 		WordWrites:             s.wordWrites,
 		Invalidations:          s.invalidations,
 		BroadcastInvalidations: s.bcastInvals,
+		SelfInvalidations:      s.selfInvals,
 		InvalidationUtil:       s.invalHist,
 		EvictionUtil:           s.evictHist,
 		RouterFlits:            s.mesh.RouterFlits,
